@@ -1,0 +1,63 @@
+// Ablation: should ibv_poll_cq go through the kernel too?
+//
+// §4 routes "each dataplane operation" through the kernel — including the
+// poll. But the CQ lives in user-mapped memory, so a CoRD variant could
+// legally poll from user space and only trap for the posting verbs. This
+// bench quantifies the difference (and with it, the cost of making polls
+// observable/policeable by the OS).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perftest/perftest.hpp"
+
+namespace {
+
+using namespace cord;
+using namespace cord::bench;
+using namespace cord::perftest;
+using verbs::DataplaneMode;
+
+Params make(std::size_t size, int iters, bool poll_via_kernel) {
+  Params p;
+  p.op = TestOp::kSend;
+  p.msg_size = size;
+  p.iterations = iters;
+  p.client = verbs::ContextOptions{.mode = DataplaneMode::kCord,
+                                   .poll_via_kernel = poll_via_kernel};
+  p.server = p.client;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: CoRD poll_cq routing (system L) ===\n\n");
+  const auto cfg = core::system_l();
+  Params bp = make(64, 300, true);
+  bp.client = verbs::ContextOptions{.mode = DataplaneMode::kBypass};
+  bp.server = bp.client;
+
+  Table t({"metric", "bypass", "CoRD, user-space poll", "CoRD, kernel poll"});
+  {
+    const double base = run_latency(cfg, bp).avg_us;
+    const double user = run_latency(cfg, make(64, 300, false)).avg_us;
+    const double kern = run_latency(cfg, make(64, 300, true)).avg_us;
+    t.add_row({"64B send lat (us)", fmt("%.3f", base), fmt("%.3f", user),
+               fmt("%.3f", kern)});
+  }
+  {
+    Params bbw = bp;
+    bbw.iterations = 2000;
+    const double base = run_bandwidth(cfg, bbw).mmsg_per_sec;
+    const double user = run_bandwidth(cfg, make(64, 2000, false)).mmsg_per_sec;
+    const double kern = run_bandwidth(cfg, make(64, 2000, true)).mmsg_per_sec;
+    t.add_row({"64B rate (Mmsg/s)", fmt("%.3f", base), fmt("%.3f", user),
+               fmt("%.3f", kern)});
+  }
+  t.print();
+  std::printf(
+      "\nKernel-routed polls dominate CoRD's overhead (they run in a busy\n"
+      "loop); polling user-mapped CQ memory recovers most of the gap while\n"
+      "the kernel still gates every NIC-visible operation.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 1 — "Removing" performance-improving techniques compared to
+// having all techniques active (perftest send_lat / send_bw on system L).
+//
+//   Fig. 1a: one-way send latency vs message size for baseline and each
+//            removed technique (zero-copy / kernel-bypass / polling).
+//   Fig. 1b: send throughput vs message size, same variants.
+//
+// Expected shape (paper §2): removing any technique hurts small-message
+// throughput (CPU-bound); only zero-copy matters for large-message
+// throughput; for latency, polling removal adds a large constant,
+// zero-copy removal adds ~140 us/MiB, kernel-bypass removal adds a small
+// constant with minimal overall impact.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perftest/perftest.hpp"
+
+namespace {
+
+using namespace cord;
+using namespace cord::bench;
+using namespace cord::perftest;
+
+struct Variant {
+  const char* name;
+  Knobs knobs;
+};
+
+const Variant kVariants[] = {
+    {"baseline", {}},
+    {"no-zerocopy", {.extra_copy = true}},
+    {"no-kernelbypass", {.extra_syscall = true}},
+    {"no-polling", {.interrupt_wait = true}},
+};
+
+}  // namespace
+
+int main() {
+  const auto cfg = core::system_l();
+  const std::size_t sizes[] = {2,    64,    256,   1024,    4096,
+                               16384, 65536, 262144, 1048576, 8388608};
+
+  std::printf("=== Figure 1a: send latency (one-way us), system L ===\n");
+  Table lat({"size", "baseline", "no-zerocopy", "no-kernelbypass", "no-polling"});
+  for (std::size_t size : sizes) {
+    std::vector<std::string> row{size_label(size)};
+    for (const Variant& v : kVariants) {
+      Params p;
+      p.op = TestOp::kSend;
+      p.msg_size = size;
+      p.iterations = size >= (1u << 20) ? 40 : 200;
+      p.warmup = 20;
+      p.knobs = v.knobs;
+      row.push_back(fmt("%.2f", run_latency(cfg, p).avg_us));
+    }
+    lat.add_row(std::move(row));
+  }
+  lat.print();
+
+  std::printf("\n=== Figure 1b: send throughput (Gbit/s), system L ===\n");
+  Table bw({"size", "baseline", "no-zerocopy", "no-kernelbypass", "no-polling"});
+  for (std::size_t size : sizes) {
+    std::vector<std::string> row{size_label(size)};
+    for (const Variant& v : kVariants) {
+      Params p;
+      p.op = TestOp::kSend;
+      p.msg_size = size;
+      p.iterations = iters_for(size);
+      p.knobs = v.knobs;
+      row.push_back(fmt("%.3f", run_bandwidth(cfg, p).gbps));
+    }
+    bw.add_row(std::move(row));
+  }
+  bw.print();
+
+  std::printf(
+      "\nPaper checkpoints: baseline small-message throughput is a tiny\n"
+      "fraction of the 100 Gbit/s wire; no-zerocopy latency grows by\n"
+      "~140 us/MiB; no-polling adds a size-independent constant; removing\n"
+      "kernel-bypass is the least harmful technique.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks of the simulation engine's hot paths:
+// event scheduling, coroutine spawn/await, resource reservations, and an
+// end-to-end NIC message. These bound the real-time cost of every figure
+// bench in this repository.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "nic/nic.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace cord;
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  sim::Engine engine;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    engine.call_in(sim::ns(10), [&] { ++fired; });
+    engine.run();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_EngineQueueDepth1000(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      engine.call_in(sim::ns(i), [&] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EngineQueueDepth1000);
+
+sim::Task<int> leaf(sim::Engine& e) {
+  co_await e.delay(sim::ns(1));
+  co_return 1;
+}
+
+void BM_TaskSpawnAwait(benchmark::State& state) {
+  sim::Engine engine;
+  for (auto _ : state) {
+    int out = 0;
+    engine.spawn([](sim::Engine& e, int& out) -> sim::Task<> {
+      out = co_await leaf(e);
+    }(engine, out));
+    engine.run();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TaskSpawnAwait);
+
+void BM_ResourceReserve(benchmark::State& state) {
+  sim::Engine engine;
+  sim::Resource r(engine);
+  sim::Time t = 0;
+  for (auto _ : state) {
+    t = r.reserve_at(t, sim::ns(5));
+  }
+  benchmark::DoNotOptimize(t);
+}
+BENCHMARK(BM_ResourceReserve);
+
+void BM_NicEndToEndMessage(benchmark::State& state) {
+  sim::Engine engine;
+  fabric::Network net(engine);
+  net.add_node(0, sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
+  net.add_node(1, sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
+  net.connect(0, 1, sim::Bandwidth::gbit_per_sec(100.0), sim::ns(150));
+  nic::NicRegistry reg;
+  nic::Nic n0(engine, net, reg, 0, {});
+  nic::Nic n1(engine, net, reg, 1, {});
+  auto pd0 = n0.alloc_pd();
+  auto pd1 = n1.alloc_pd();
+  auto* cq0 = n0.create_cq(1u << 20);
+  auto* cq1 = n1.create_cq(1u << 20);
+  auto* qp0 = n0.create_qp({nic::QpType::kRC, pd0, cq0, cq0, 1u << 16, 1u << 16, 220});
+  auto* qp1 = n1.create_qp({nic::QpType::kRC, pd1, cq1, cq1, 1u << 16, 1u << 16, 220});
+  n0.modify_qp(*qp0, nic::QpState::kInit);
+  n0.modify_qp(*qp0, nic::QpState::kRtr, {1, qp1->qpn()});
+  n0.modify_qp(*qp0, nic::QpState::kRts);
+  n1.modify_qp(*qp1, nic::QpState::kInit);
+  n1.modify_qp(*qp1, nic::QpState::kRtr, {0, qp0->qpn()});
+  n1.modify_qp(*qp1, nic::QpState::kRts);
+  std::vector<std::byte> src(64), dst(4096);
+  const auto& rmr = n1.register_mr(pd1, dst.data(), dst.size(), nic::kAccessLocalWrite);
+  std::vector<nic::Cqe> wc(16);
+  for (auto _ : state) {
+    n1.post_recv(*qp1, {1, {reinterpret_cast<std::uintptr_t>(dst.data()), 4096,
+                            rmr.lkey}});
+    n0.post_send(*qp0, {.sge = {reinterpret_cast<std::uintptr_t>(src.data()), 64, 0},
+                        .inline_data = true});
+    engine.run();
+    while (cq0->poll(wc) > 0) {
+    }
+    while (cq1->poll(wc) > 0) {
+    }
+  }
+  state.SetLabel("one RC send end-to-end");
+}
+BENCHMARK(BM_NicEndToEndMessage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// atomic_lock: distributed synchronization on RDMA atomics.
+//
+// A sequencer (fetch-and-add ticket counter) and a spinlock
+// (compare-and-swap) live in one host's memory; clients on the other host
+// acquire them with one-sided atomics — the lock holder's CPU is never
+// involved. Both run in bypass and CoRD modes: the atomics path is
+// responder-side, so CoRD on the *server* costs nothing (same story as
+// the kv_store's one-sided GETs), while client-side CoRD prices each
+// acquisition with one syscall.
+#include <cstdio>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/join.hpp"
+
+using namespace cord;
+
+namespace {
+
+struct SharedState {
+  alignas(8) std::uint64_t ticket = 0;   // fetch-add sequencer
+  alignas(8) std::uint64_t lock = 0;     // 0 = free, else owner rank
+  alignas(8) std::uint64_t protected_counter = 0;  // guarded by `lock`
+};
+
+struct Client {
+  verbs::Context ctx;
+  nic::QueuePair* qp = nullptr;
+  nic::CompletionQueue* scq = nullptr;
+  alignas(8) std::uint64_t result = 0;
+  const nic::MemoryRegion* result_mr = nullptr;
+
+  explicit Client(os::Host& host, std::size_t core, verbs::ContextOptions opts)
+      : ctx(host, core, opts) {}
+
+  sim::Task<std::uint64_t> atomic(nic::Opcode op, std::uint64_t remote_addr,
+                                  std::uint32_t rkey, std::uint64_t compare_add,
+                                  std::uint64_t swap = 0) {
+    nic::SendWr wr;
+    wr.opcode = op;
+    wr.sge = {reinterpret_cast<std::uintptr_t>(&result), 8, result_mr->lkey};
+    wr.remote_addr = remote_addr;
+    wr.rkey = rkey;
+    wr.compare_add = compare_add;
+    wr.swap = swap;
+    if (int rc = co_await ctx.post_send(*qp, std::move(wr)); rc != 0) {
+      throw std::runtime_error("atomic post failed");
+    }
+    nic::Cqe wc = co_await ctx.wait_one(*scq);
+    if (wc.status != nic::WcStatus::kSuccess) {
+      throw std::runtime_error("atomic completion error");
+    }
+    co_return result;
+  }
+};
+
+sim::Task<> run_clients(core::System& sys, verbs::DataplaneMode client_mode,
+                        double& tickets_per_ms, bool& lock_consistent) {
+  // Server side: owns the shared state; its CPU stays idle after setup.
+  verbs::Context server(sys.host(0), 0, sys.options(verbs::DataplaneMode::kCord));
+  SharedState state;
+  auto pd_s = co_await server.alloc_pd();
+  auto* state_mr = co_await server.reg_mr(
+      pd_s, &state, sizeof(state),
+      nic::kAccessLocalWrite | nic::kAccessRemoteAtomic | nic::kAccessRemoteRead |
+          nic::kAccessRemoteWrite);
+  auto* scq_s = co_await server.create_cq(64);
+
+  constexpr int kClients = 4;
+  constexpr int kOpsEach = 100;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::unique_ptr<sim::Joinable>> tasks;
+  const sim::Time t0 = sys.engine().now();
+
+  for (int c = 0; c < kClients; ++c) {
+    auto client = std::make_unique<Client>(
+        sys.host(1), static_cast<std::size_t>(c), sys.options(client_mode));
+    auto pd_c = co_await client->ctx.alloc_pd();
+    client->scq = co_await client->ctx.create_cq(256);
+    auto* rcq = co_await client->ctx.create_cq(256);
+    client->qp = co_await client->ctx.create_qp(
+        {nic::QpType::kRC, pd_c, client->scq, rcq, 128, 128, 0});
+    auto* qp_s = co_await server.create_qp(
+        {nic::QpType::kRC, pd_s, scq_s, scq_s, 128, 128, 0});
+    co_await client->ctx.connect_qp(*client->qp, {0, qp_s->qpn()});
+    co_await server.connect_qp(*qp_s, {1, client->qp->qpn()});
+    client->result_mr = co_await client->ctx.reg_mr(
+        pd_c, &client->result, 8, nic::kAccessLocalWrite);
+    clients.push_back(std::move(client));
+  }
+
+  const auto ticket_addr = reinterpret_cast<std::uintptr_t>(&state.ticket);
+  const auto lock_addr = reinterpret_cast<std::uintptr_t>(&state.lock);
+  const std::uint32_t rkey = state_mr->rkey;
+
+  for (int c = 0; c < kClients; ++c) {
+    tasks.push_back(std::make_unique<sim::Joinable>(
+        sys.engine(),
+        [](Client& cl, core::System& sys, std::uintptr_t ticket_addr,
+           std::uintptr_t lock_addr, std::uint32_t rkey, SharedState& state,
+           int id) -> sim::Task<> {
+          for (int i = 0; i < kOpsEach; ++i) {
+            // Sequencer: one fetch-add = one globally unique ticket.
+            (void)co_await cl.atomic(nic::Opcode::kFetchAdd, ticket_addr, rkey, 1);
+            // Spinlock: CAS 0 -> my id, retry on contention.
+            for (;;) {
+              const std::uint64_t old = co_await cl.atomic(
+                  nic::Opcode::kCompareSwap, lock_addr, rkey, 0,
+                  static_cast<std::uint64_t>(id) + 1);
+              if (old == 0) break;
+              co_await sys.engine().delay(sim::us(2));  // backoff
+            }
+            // Critical section: unsynchronized read-modify-write that is
+            // only safe because the lock serializes it.
+            const std::uint64_t v = state.protected_counter;
+            co_await sys.engine().delay(sim::us(1));  // widen the race window
+            state.protected_counter = v + 1;
+            // Unlock: CAS my id -> 0.
+            (void)co_await cl.atomic(nic::Opcode::kCompareSwap, lock_addr, rkey,
+                                     static_cast<std::uint64_t>(id) + 1, 0);
+          }
+        }(*clients[c], sys, ticket_addr, lock_addr, rkey, state, c)));
+  }
+  for (auto& t : tasks) co_await t->join();
+
+  const double ms = sim::to_ms(sys.engine().now() - t0);
+  tickets_per_ms = kClients * kOpsEach / ms;
+  lock_consistent = state.ticket == kClients * kOpsEach &&
+                    state.protected_counter == kClients * kOpsEach &&
+                    state.lock == 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("atomic_lock: a sequencer + spinlock in remote memory (4 clients x 100 ops)\n\n");
+  for (auto mode : {verbs::DataplaneMode::kBypass, verbs::DataplaneMode::kCord}) {
+    core::System sys(core::system_l(), 2);
+    double rate = 0.0;
+    bool ok = false;
+    sys.engine().spawn(run_clients(sys, mode, rate, ok));
+    sys.engine().run();
+    std::printf("  clients on %-13s %.0f acquisitions/ms, state %s\n",
+                mode == verbs::DataplaneMode::kBypass ? "kernel bypass:" : "CoRD:",
+                rate, ok ? "consistent" : "CORRUPT");
+    if (!ok) return 1;
+  }
+  std::printf(
+      "\n400 lock-protected increments from 4 concurrent clients, zero lost\n"
+      "updates — the responder NIC serializes the atomics; the server CPU\n"
+      "slept through all of it.\n");
+  return 0;
+}

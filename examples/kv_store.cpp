@@ -1,0 +1,159 @@
+// kv_store: a one-sided RDMA key-value store (Pilaf/FaRM style).
+//
+// The server registers a hash table; GETs are pure RDMA reads by the
+// client — the server CPU never touches a request. PUTs go through
+// two-sided messaging. The example runs the same workload in bypass and
+// CoRD modes and reports the GET latency: with CoRD on the *server* only,
+// GETs cost exactly the same as bypass (Fig. 3's "read BP->CD" row),
+// because the server CPU is not on the GET path at all — yet the server's
+// OS regains observability and policy control over the connection.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/stats.hpp"
+
+using namespace cord;
+
+namespace {
+
+constexpr std::size_t kBuckets = 1024;
+constexpr std::size_t kKeyLen = 16;
+constexpr std::size_t kValLen = 48;
+
+struct Bucket {
+  char key[kKeyLen];
+  char value[kValLen];
+  std::uint64_t version;  // even = stable, odd = being written
+};
+
+std::size_t bucket_of(std::string_view key) {
+  std::size_t h = 1469598103934665603ull;
+  for (char c : key) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  return h % kBuckets;
+}
+
+struct KvServer {
+  std::vector<Bucket> table{kBuckets};
+  const nic::MemoryRegion* mr = nullptr;
+
+  void put(std::string_view key, std::string_view value) {
+    Bucket& b = table[bucket_of(key)];
+    b.version++;  // odd: writers in progress
+    std::memset(b.key, 0, sizeof(b.key));
+    std::memcpy(b.key, key.data(), std::min(key.size(), kKeyLen - 1));
+    std::memset(b.value, 0, sizeof(b.value));
+    std::memcpy(b.value, value.data(), std::min(value.size(), kValLen - 1));
+    b.version++;  // even again
+  }
+};
+
+struct KvClient {
+  verbs::Context* ctx = nullptr;
+  nic::QueuePair* qp = nullptr;
+  nic::CompletionQueue* scq = nullptr;
+  std::uintptr_t remote_table = 0;
+  std::uint32_t rkey = 0;
+  std::vector<Bucket> scratch{1};
+  const nic::MemoryRegion* scratch_mr = nullptr;
+
+  /// One-sided GET: RDMA-read the bucket, check the version for a torn
+  /// write, compare the key.
+  sim::Task<std::optional<std::string>> get(std::string_view key) {
+    const std::size_t idx = bucket_of(key);
+    nic::SendWr wr;
+    wr.opcode = nic::Opcode::kRdmaRead;
+    wr.sge = {reinterpret_cast<std::uintptr_t>(scratch.data()),
+              static_cast<std::uint32_t>(sizeof(Bucket)), scratch_mr->lkey};
+    wr.remote_addr = remote_table + idx * sizeof(Bucket);
+    wr.rkey = rkey;
+    if (int rc = co_await ctx->post_send(*qp, std::move(wr)); rc != 0) {
+      throw std::runtime_error("GET post failed");
+    }
+    nic::Cqe wc = co_await ctx->wait_one(*scq);
+    if (wc.status != nic::WcStatus::kSuccess) {
+      throw std::runtime_error("GET completion error");
+    }
+    const Bucket& b = scratch[0];
+    if (b.version % 2 == 1) co_return std::nullopt;  // torn; caller retries
+    if (std::string_view(b.key) != key) co_return std::nullopt;
+    co_return std::string(b.value);
+  }
+};
+
+sim::Task<> workload(core::System& sys, verbs::DataplaneMode server_mode,
+                     double& avg_get_us) {
+  verbs::Context server(sys.host(0), 0, sys.options(server_mode));
+  verbs::Context client(sys.host(1), 0,
+                        sys.options(verbs::DataplaneMode::kBypass));
+
+  KvServer store;
+  auto pd_s = co_await server.alloc_pd();
+  auto pd_c = co_await client.alloc_pd();
+  store.mr = co_await server.reg_mr(
+      pd_s, store.table.data(), store.table.size() * sizeof(Bucket),
+      nic::kAccessLocalWrite | nic::kAccessRemoteRead);
+
+  auto* scq_s = co_await server.create_cq(256);
+  auto* rcq_s = co_await server.create_cq(256);
+  auto* scq_c = co_await client.create_cq(256);
+  auto* rcq_c = co_await client.create_cq(256);
+  auto* qp_s = co_await server.create_qp(
+      {nic::QpType::kRC, pd_s, scq_s, rcq_s, 128, 128, 0});
+  auto* qp_c = co_await client.create_qp(
+      {nic::QpType::kRC, pd_c, scq_c, rcq_c, 128, 128, 0});
+  co_await server.connect_qp(*qp_s, {client.node(), qp_c->qpn()});
+  co_await client.connect_qp(*qp_c, {server.node(), qp_s->qpn()});
+
+  KvClient kv;
+  kv.ctx = &client;
+  kv.qp = qp_c;
+  kv.scq = scq_c;
+  kv.remote_table = reinterpret_cast<std::uintptr_t>(store.table.data());
+  kv.rkey = store.mr->rkey;
+  kv.scratch_mr = co_await client.reg_mr(
+      pd_c, kv.scratch.data(), sizeof(Bucket), nic::kAccessLocalWrite);
+
+  // Populate (server-local PUTs for brevity; the GET path is the point).
+  for (int i = 0; i < 100; ++i) {
+    store.put("key-" + std::to_string(i), "value-" + std::to_string(i * 7));
+  }
+
+  sim::Samples get_us;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i % 100);
+    const sim::Time t0 = sys.engine().now();
+    auto v = co_await kv.get(key);
+    get_us.add(sim::to_us(sys.engine().now() - t0));
+    if (!v || *v != "value-" + std::to_string((i % 100) * 7)) {
+      throw std::runtime_error("GET returned wrong value for " + key);
+    }
+  }
+  avg_get_us = get_us.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("kv_store: one-sided GETs against a server in each dataplane mode\n\n");
+  double bypass_us = 0, cord_us = 0;
+  {
+    core::System sys(core::system_l(), 2);
+    sys.engine().spawn(workload(sys, verbs::DataplaneMode::kBypass, bypass_us));
+    sys.engine().run();
+  }
+  {
+    core::System sys(core::system_l(), 2);
+    sys.engine().spawn(workload(sys, verbs::DataplaneMode::kCord, cord_us));
+    sys.engine().run();
+  }
+  std::printf("  server bypass: avg GET %.2f us\n", bypass_us);
+  std::printf("  server CoRD:   avg GET %.2f us\n", cord_us);
+  std::printf(
+      "\nGET latency is identical: the server CPU is not on the one-sided\n"
+      "read path, so CoRD on the server is free for this workload while\n"
+      "giving its OS back control over the connection (Fig. 3, RC Read).\n");
+  return 0;
+}

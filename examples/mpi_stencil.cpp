@@ -1,0 +1,110 @@
+// mpi_stencil: a real distributed computation on the MPI runtime.
+//
+// 1D-decomposed 2D heat diffusion (Jacobi iteration) with halo exchange,
+// run over all three network modes. The numerics are real — every rank
+// owns a slab of the grid, exchanges boundary rows with its neighbours
+// each step, and the example checks that all modes converge to the same
+// residual (they transport the same bytes; only timing differs).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mpi/world.hpp"
+
+using namespace cord;
+using mpi::NetMode;
+
+namespace {
+
+constexpr int kNx = 256;      // global rows
+constexpr int kNy = 128;      // columns
+constexpr int kSteps = 60;
+
+struct Outcome {
+  double residual = 0.0;
+  sim::Time elapsed = 0;
+};
+
+Outcome run_mode(NetMode net) {
+  core::System sys(core::system_l(), 2);
+  mpi::World world(sys, 8, {.net = net});
+  double residual = 0.0;
+  const sim::Time elapsed = world.run([&residual](mpi::Rank& r) -> sim::Task<> {
+    const int n = r.size();
+    const int rows = kNx / n;
+    // Slab with two ghost rows.
+    std::vector<double> grid((rows + 2) * kNy, 0.0);
+    std::vector<double> next((rows + 2) * kNy, 0.0);
+    // Boundary condition: hot left edge.
+    for (int i = 0; i < rows + 2; ++i) grid[i * kNy] = 100.0;
+
+    const int up = r.id() > 0 ? r.id() - 1 : -1;
+    const int down = r.id() < n - 1 ? r.id() + 1 : -1;
+    auto row = [&](std::vector<double>& g, int i) {
+      return std::span<double>(g.data() + i * kNy, kNy);
+    };
+
+    for (int step = 0; step < kSteps; ++step) {
+      // Halo exchange: send my edge rows, receive neighbours' ghosts.
+      if (up >= 0) {
+        co_await r.sendrecv<double>(up, 1, row(grid, 1), up, 2, row(grid, 0));
+      }
+      if (down >= 0) {
+        co_await r.sendrecv<double>(down, 2, row(grid, rows), down, 1,
+                                    row(grid, rows + 1));
+      }
+      // Jacobi sweep (real arithmetic, and its cost charged to the core).
+      double local_res = 0.0;
+      for (int i = 1; i <= rows; ++i) {
+        const bool top_edge = r.id() == 0 && i == 1;
+        const bool bottom_edge = r.id() == n - 1 && i == rows;
+        for (int j = 1; j < kNy - 1; ++j) {
+          if (top_edge || bottom_edge) {
+            next[i * kNy + j] = grid[i * kNy + j];
+            continue;
+          }
+          const double v = 0.25 * (grid[(i - 1) * kNy + j] + grid[(i + 1) * kNy + j] +
+                                   grid[i * kNy + j - 1] + grid[i * kNy + j + 1]);
+          local_res += std::abs(v - grid[i * kNy + j]);
+          next[i * kNy + j] = v;
+        }
+        next[i * kNy] = grid[i * kNy];
+        next[i * kNy + kNy - 1] = grid[i * kNy + kNy - 1];
+      }
+      std::swap(grid, next);
+      co_await r.compute(sim::ns(static_cast<std::int64_t>(rows) * kNy * 6));
+
+      if (step == kSteps - 1) {
+        std::array<double, 1> in{local_res};
+        std::array<double, 1> out{};
+        co_await r.allreduce<double>(in, out, mpi::Op::kSum);
+        if (r.id() == 0) residual = out[0];
+      }
+    }
+  });
+  return {residual, elapsed};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mpi_stencil: 2D heat diffusion, 8 ranks, halo exchange, %d steps\n\n",
+              kSteps);
+  const Outcome rdma = run_mode(NetMode::kBypass);
+  const Outcome cord = run_mode(NetMode::kCord);
+  const Outcome ipoib = run_mode(NetMode::kIpoib);
+  std::printf("  %-8s %10s   residual %.6f\n", "RDMA",
+              sim::format_time(rdma.elapsed).c_str(), rdma.residual);
+  std::printf("  %-8s %10s   residual %.6f   (%.2fx)\n", "CoRD",
+              sim::format_time(cord.elapsed).c_str(), cord.residual,
+              sim::to_us(cord.elapsed) / sim::to_us(rdma.elapsed));
+  std::printf("  %-8s %10s   residual %.6f   (%.2fx)\n", "IPoIB",
+              sim::format_time(ipoib.elapsed).c_str(), ipoib.residual,
+              sim::to_us(ipoib.elapsed) / sim::to_us(rdma.elapsed));
+  if (rdma.residual != cord.residual || rdma.residual != ipoib.residual) {
+    std::printf("\nERROR: modes disagree on the numerics!\n");
+    return 1;
+  }
+  std::printf("\nIdentical numerics in every mode; only the clock differs.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: the smallest complete CoRD program.
+//
+// Builds a two-host system L, connects an RC queue pair through the verbs
+// API, and ping-pongs a message — once with the classical kernel-bypass
+// dataplane and once with CoRD (every data-plane verb through the
+// kernel). The application code is identical in both modes; only the
+// ContextOptions differ. That is the paper's point.
+#include <cstdio>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/join.hpp"
+
+using namespace cord;
+
+namespace {
+
+sim::Task<> pingpong(core::System& sys, verbs::DataplaneMode mode,
+                     sim::Time& oneway) {
+  verbs::Context client(sys.host(0), 0, sys.options(mode));
+  verbs::Context server(sys.host(1), 0, sys.options(mode));
+
+  // Control plane: identical in both modes (always through the kernel).
+  auto pd_c = co_await client.alloc_pd();
+  auto pd_s = co_await server.alloc_pd();
+  auto* scq_c = co_await client.create_cq(64);
+  auto* rcq_c = co_await client.create_cq(64);
+  auto* scq_s = co_await server.create_cq(64);
+  auto* rcq_s = co_await server.create_cq(64);
+  auto* qp_c = co_await client.create_qp(
+      {nic::QpType::kRC, pd_c, scq_c, rcq_c, 64, 64, 220});
+  auto* qp_s = co_await server.create_qp(
+      {nic::QpType::kRC, pd_s, scq_s, rcq_s, 64, 64, 220});
+  co_await client.connect_qp(*qp_c, {server.node(), qp_s->qpn()});
+  co_await server.connect_qp(*qp_s, {client.node(), qp_c->qpn()});
+
+  std::vector<std::byte> msg(64, std::byte{'!'});
+  std::vector<std::byte> reply(64);
+  auto* mr_c = co_await client.reg_mr(pd_c, reply.data(), reply.size(),
+                                      nic::kAccessLocalWrite);
+  auto* mr_s = co_await server.reg_mr(pd_s, msg.data(), msg.size(),
+                                      nic::kAccessLocalWrite);
+
+  // Server: receive one message, echo it back.
+  sim::Joinable echo(sys.engine(), [](verbs::Context& server, nic::QueuePair& qp,
+                                      std::vector<std::byte>& buf,
+                                      std::uint32_t lkey) -> sim::Task<> {
+    (void)co_await server.post_recv(
+        qp, {1, {reinterpret_cast<std::uintptr_t>(buf.data()), 64, lkey}});
+    (void)co_await server.wait_one(qp.recv_cq());
+    (void)co_await server.post_send(
+        qp, {.sge = {reinterpret_cast<std::uintptr_t>(buf.data()), 64, 0},
+             .inline_data = true});
+    (void)co_await server.wait_one(qp.send_cq());
+  }(server, *qp_s, msg, mr_s->lkey));
+
+  (void)co_await client.post_recv(
+      *qp_c, {2, {reinterpret_cast<std::uintptr_t>(reply.data()), 64, mr_c->lkey}});
+  const sim::Time t0 = sys.engine().now();
+  (void)co_await client.post_send(
+      *qp_c, {.sge = {reinterpret_cast<std::uintptr_t>(msg.data()), 64, 0},
+              .inline_data = true});
+  (void)co_await client.wait_one(*scq_c);
+  (void)co_await client.wait_one(*rcq_c);
+  oneway = (sys.engine().now() - t0) / 2;
+  co_await echo.join();
+
+  if (reply[0] != std::byte{'!'}) throw std::runtime_error("echo corrupted");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CoRD quickstart: 64 B ping-pong on system L\n\n");
+  for (auto mode : {verbs::DataplaneMode::kBypass, verbs::DataplaneMode::kCord}) {
+    core::System sys(core::system_l(), 2);
+    sim::Time oneway = 0;
+    sys.engine().spawn(pingpong(sys, mode, oneway));
+    sys.engine().run();
+    std::printf("  %-18s one-way latency: %s   (data-plane syscalls: %llu)\n",
+                mode == verbs::DataplaneMode::kBypass ? "kernel bypass" : "CoRD",
+                sim::format_time(oneway).c_str(),
+                static_cast<unsigned long long>(
+                    sys.host(0).kernel().syscall_count() +
+                    sys.host(1).kernel().syscall_count()));
+  }
+  std::printf(
+      "\nSame application code, one ContextOptions flag — the kernel is\n"
+      "back on the data path for a few hundred nanoseconds per message.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "core/system.hpp"
+
+namespace cord::core {
+
+SystemConfig system_l() {
+  SystemConfig c;
+  c.name = "L";
+  // ConnectX-6 Dx at 200 Gbit/s capped to 100 Gbit/s by the motherboard.
+  c.wire_bandwidth = sim::Bandwidth::gbit_per_sec(100.0);
+  c.wire_propagation = sim::ns(150);  // back-to-back cable
+  c.nic = nic::NicConfig{};           // CX-6 class defaults
+  c.nic.max_inline = 220;
+
+  c.cpu = os::CpuModel{};
+  c.cpu.base_ghz = 3.3;   // i5-4590
+  c.cpu.turbo_ghz = 3.7;
+  c.cpu.turbo_enabled = false;  // paper: "we disable Turbo Boost"
+  c.cpu.kpti = false;           // paper: "we disable KPTI"
+  c.cpu.syscall_crossing = sim::ns(180);
+  c.cpu.memcpy_bandwidth = sim::Bandwidth::gbyte_per_sec(7.5);
+
+  c.kernel = os::KernelConfig{};
+  c.cord_inline_support = true;
+  c.cord_poll_via_kernel = true;
+  return c;
+}
+
+SystemConfig system_l_turbo() {
+  SystemConfig c = system_l();
+  c.name = "L+turbo";
+  c.cpu.turbo_enabled = true;
+  return c;
+}
+
+SystemConfig system_a() {
+  SystemConfig c;
+  c.name = "A";
+  // Virtualized ConnectX-6 InfiniBand, 200 Gbit/s, through a switch.
+  c.wire_bandwidth = sim::Bandwidth::gbit_per_sec(200.0);
+  c.wire_propagation = sim::ns(600);
+
+  c.nic = nic::NicConfig{};
+  c.nic.pcie_bandwidth = sim::Bandwidth::gbit_per_sec(256.0);  // PCIe gen4 x16
+  c.nic.dma_latency = sim::ns(500);      // SR-IOV adds latency
+  c.nic.doorbell_latency = sim::ns(400); // virtualized MMIO
+  c.nic.interrupt_delivery = sim::ns(1200);
+  c.nic.max_inline = 1024;  // CX-6 IB configured for large inline; this is
+                            // why the bimodal split sits at ~1 KiB (Fig. 5a)
+
+  c.cpu = os::CpuModel{};
+  c.cpu.base_ghz = 2.2;   // EPYC 7V73X base
+  c.cpu.turbo_ghz = 3.5;
+  c.cpu.turbo_enabled = true;  // cloud policy: DVFS cannot be disabled
+  c.cpu.kpti = false;          // Meltdown mitigated in hardware
+  c.cpu.syscall_crossing = sim::ns(220);
+  c.cpu.virt_overhead = 0.8;   // nested paging, virtualized MSRs
+  c.cpu.syscall_jitter = 0.30; // noisy neighbours, hypervisor scheduling
+  c.cpu.memcpy_bandwidth = sim::Bandwidth::gbyte_per_sec(12.0);
+
+  c.kernel = os::KernelConfig{};
+  c.cord_inline_support = false;  // the paper's prototype gap on system A
+  c.cord_poll_via_kernel = true;
+  return c;
+}
+
+System::System(SystemConfig cfg, std::size_t host_count) : cfg_(std::move(cfg)) {
+  for (std::size_t i = 0; i < host_count; ++i) {
+    network_.add_node(static_cast<nic::NodeId>(i), cfg_.loopback_bandwidth,
+                      cfg_.loopback_delay);
+  }
+  for (std::size_t i = 0; i < host_count; ++i) {
+    for (std::size_t j = i + 1; j < host_count; ++j) {
+      network_.connect(static_cast<nic::NodeId>(i), static_cast<nic::NodeId>(j),
+                       cfg_.wire_bandwidth, cfg_.wire_propagation);
+    }
+  }
+  for (std::size_t i = 0; i < host_count; ++i) {
+    hosts_.push_back(std::make_unique<os::Host>(
+        engine_, network_, registry_, static_cast<nic::NodeId>(i), cfg_.nic,
+        cfg_.cpu, cfg_.kernel));
+  }
+}
+
+}  // namespace cord::core

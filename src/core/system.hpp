@@ -1,0 +1,77 @@
+// System assembly: puts engine, fabric, NICs, kernels and cores together,
+// with named presets for the paper's two testbeds.
+//
+//   System L — two nodes, Intel i5-4590 (3.3/3.7 GHz, Turbo disabled for
+//              benchmarks), ConnectX-6 Dx RoCE back-to-back at 100 Gbit/s
+//              (motherboard-limited), bare metal, KPTI off, CoRD prototype
+//              supports inline sends.
+//   System A — two Azure HB120 nodes, virtualized EPYC 7V73X, virtualized
+//              ConnectX-6 InfiniBand at 200 Gbit/s, DVFS cannot be
+//              disabled, syscalls are costlier and jittery (virtualized),
+//              KPTI off (hardware-mitigated Meltdown), CoRD prototype
+//              lacks inline support — producing the bimodal overhead of
+//              Fig. 5a.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hpp"
+#include "verbs/verbs.hpp"
+
+namespace cord::core {
+
+struct SystemConfig {
+  std::string name;
+  sim::Bandwidth wire_bandwidth = sim::Bandwidth::gbit_per_sec(100.0);
+  sim::Time wire_propagation = sim::ns(150);
+  sim::Bandwidth loopback_bandwidth = sim::Bandwidth::gbit_per_sec(200.0);
+  sim::Time loopback_delay = sim::ns(150);
+  nic::NicConfig nic;
+  os::CpuModel cpu;
+  os::KernelConfig kernel;
+  /// Whether this system's CoRD prototype supports inline sends.
+  bool cord_inline_support = true;
+  /// Default for routing poll_cq through the kernel in CoRD mode.
+  bool cord_poll_via_kernel = true;
+};
+
+/// The paper's local testbed (defaults as benchmarked: Turbo disabled).
+SystemConfig system_l();
+/// System L with Turbo Boost left on (the DVFS-interaction observation).
+SystemConfig system_l_turbo();
+/// The Azure HB120 testbed.
+SystemConfig system_a();
+
+class System {
+ public:
+  explicit System(SystemConfig cfg, std::size_t host_count = 2);
+
+  sim::Engine& engine() { return engine_; }
+  fabric::Network* network_ptr() { return &network_; }
+  const SystemConfig& config() const { return cfg_; }
+  std::size_t host_count() const { return hosts_.size(); }
+  os::Host& host(std::size_t i) { return *hosts_.at(i); }
+
+  /// Context options for a process on this system in the given mode,
+  /// applying the system's CoRD capabilities.
+  verbs::ContextOptions options(verbs::DataplaneMode mode,
+                                os::TenantId tenant = 0) const {
+    return verbs::ContextOptions{
+        .mode = mode,
+        .poll_via_kernel = cfg_.cord_poll_via_kernel,
+        .cord_inline_support = cfg_.cord_inline_support,
+        .tenant = tenant,
+    };
+  }
+
+ private:
+  SystemConfig cfg_;
+  sim::Engine engine_;
+  fabric::Network network_{engine_};
+  nic::NicRegistry registry_;
+  std::vector<std::unique_ptr<os::Host>> hosts_;
+};
+
+}  // namespace cord::core

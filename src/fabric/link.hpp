@@ -1,0 +1,113 @@
+// Point-to-point fabric between NICs.
+//
+// A Link is full duplex: each direction is an independent FIFO Resource at
+// the wire bandwidth plus a fixed propagation delay. The two evaluation
+// systems in the paper are back-to-back two-node setups, so the fabric is
+// a single link (plus per-NIC loopback paths used when two processes on
+// the same host talk through the NIC — the paper bars shared memory).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/units.hpp"
+
+namespace cord::fabric {
+
+using NodeId = std::uint32_t;
+
+/// One direction of a wire: serialization resource + propagation delay.
+struct Path {
+  sim::Resource* tx = nullptr;
+  sim::Bandwidth bandwidth;
+  sim::Time propagation = 0;
+};
+
+class Link {
+ public:
+  Link(sim::Engine& engine, NodeId a, NodeId b, sim::Bandwidth bw, sim::Time propagation)
+      : a_(a),
+        b_(b),
+        a_to_b_(engine),
+        b_to_a_(engine),
+        bandwidth_(bw),
+        propagation_(propagation) {}
+
+  NodeId a() const { return a_; }
+  NodeId b() const { return b_; }
+
+  Path path_from(NodeId src) {
+    if (src == a_) return Path{&a_to_b_, bandwidth_, propagation_};
+    if (src == b_) return Path{&b_to_a_, bandwidth_, propagation_};
+    throw std::invalid_argument("node not on this link");
+  }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  sim::Resource a_to_b_;
+  sim::Resource b_to_a_;
+  sim::Bandwidth bandwidth_;
+  sim::Time propagation_;
+};
+
+/// The set of links plus per-node loopback paths.
+class Network {
+ public:
+  explicit Network(sim::Engine& engine) : engine_(&engine) {}
+
+  /// Create a bidirectional link between two nodes.
+  void connect(NodeId a, NodeId b, sim::Bandwidth bw, sim::Time propagation) {
+    links_[ordered(a, b)] = std::make_unique<Link>(*engine_, a, b, bw, propagation);
+  }
+
+  /// Register a node and configure its loopback characteristics (traffic
+  /// from a node to itself still traverses the NIC, bounded by PCIe).
+  void add_node(NodeId n, sim::Bandwidth loopback_bw, sim::Time loopback_delay) {
+    auto [it, inserted] = loopback_.try_emplace(n);
+    if (inserted) {
+      it->second.resource = std::make_unique<sim::Resource>(*engine_);
+    }
+    it->second.bandwidth = loopback_bw;
+    it->second.delay = loopback_delay;
+  }
+
+  /// The directed path from `src` towards `dst`.
+  Path path(NodeId src, NodeId dst) {
+    if (src == dst) {
+      auto it = loopback_.find(src);
+      if (it == loopback_.end()) throw std::invalid_argument("unknown node");
+      return Path{it->second.resource.get(), it->second.bandwidth, it->second.delay};
+    }
+    auto it = links_.find(ordered(src, dst));
+    if (it == links_.end()) throw std::invalid_argument("no link between nodes");
+    return it->second->path_from(src);
+  }
+
+  bool has_path(NodeId src, NodeId dst) const {
+    if (src == dst) return loopback_.contains(src);
+    return links_.contains(ordered(src, dst));
+  }
+
+ private:
+  static std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  struct Loopback {
+    std::unique_ptr<sim::Resource> resource;
+    sim::Bandwidth bandwidth;
+    sim::Time delay = 0;
+  };
+
+  sim::Engine* engine_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+  std::map<NodeId, Loopback> loopback_;
+};
+
+}  // namespace cord::fabric

@@ -1,0 +1,118 @@
+// Transport-neutral MPI-style endpoint: tag matching, unexpected-message
+// queues, and the posted-receive registry. Concrete endpoints (verbs,
+// sockets) implement send() and the progress function; the matching logic
+// here is shared.
+//
+// Semantics implemented (the subset NPB needs):
+//  * point-to-point ordered delivery per (source, destination) pair;
+//  * matching on exact (source, tag);
+//  * eager messages buffer on the receiver if unexpected (with the copy
+//    charged), rendezvous messages transfer zero-copy once matched.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "os/cpu.hpp"
+#include "sim/task.hpp"
+
+namespace cord::mpi {
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  virtual int rank() const = 0;
+  virtual int world_size() const = 0;
+  virtual os::Core& core() = 0;
+
+  /// Blocking-buffered send (returns once the payload is handed to the
+  /// transport; large messages block until the receiver has pulled them).
+  virtual sim::Task<> send(int dst, int tag, std::span<const std::byte> data) = 0;
+
+  /// Blocking receive into `out`; returns the message size. Throws on
+  /// truncation (message larger than `out`).
+  sim::Task<std::size_t> recv(int src, int tag, std::span<std::byte> out);
+
+  /// Drive the transport once (poll queues, dispatch arrivals). Returns
+  /// whether anything happened. Waiting loops call this repeatedly; it
+  /// must always consume virtual time.
+  virtual sim::Task<bool> progress_once() = 0;
+
+  /// Poll progress until `done()` holds, with exponential poll-coarsening
+  /// on idle stretches (amortizes simulation events; costs at most ~20 us
+  /// of detection latency on long waits) and a virtual-time deadline that
+  /// turns workload deadlocks into exceptions.
+  template <typename Pred>
+  sim::Task<> progress_until(Pred&& done, const char* what) {
+    int idle = 0;
+    const sim::Time deadline = core().engine().now() + kProgressTimeout;
+    while (!done()) {
+      const bool any = co_await progress_once();
+      if (any) {
+        idle = 0;
+        continue;
+      }
+      if (++idle > 64) {
+        const sim::Time backoff =
+            std::min<sim::Time>(sim::ns(25) * idle, sim::us(20));
+        co_await core().work(backoff, os::Work::kSpin);
+      }
+      if (core().engine().now() > deadline) {
+        throw std::runtime_error(std::string("MPI progress timed out: ") + what);
+      }
+    }
+  }
+
+ protected:
+  struct PostedRecv {
+    int src = 0;
+    int tag = 0;
+    std::span<std::byte> out;
+    std::size_t got = 0;
+    bool matched = false;  // a transfer is in flight for this recv
+    bool done = false;
+  };
+  struct UnexpectedMsg {
+    int src = 0;
+    int tag = 0;
+    std::vector<std::byte> data;
+  };
+
+  /// Implementation hook: an RTS for a rendezvous transfer matched a
+  /// posted receive — start pulling `size` bytes. `rts_cookie` identifies
+  /// the transfer to the concrete endpoint.
+  virtual sim::Task<> start_pull(PostedRecv& pr, std::uint64_t rts_cookie) = 0;
+
+  /// Called by implementations when an eager payload arrives.
+  /// Returns the core-time cost (copy) which the caller must charge.
+  void deliver_eager(int src, int tag, std::span<const std::byte> payload);
+
+  /// Called by implementations when a rendezvous announcement arrives.
+  struct PendingRts {
+    int src = 0;
+    int tag = 0;
+    std::uint64_t size = 0;
+    std::uint64_t cookie = 0;
+  };
+  /// Returns the matched posted receive (caller then invokes start_pull),
+  /// or nullptr if the RTS is stored as pending.
+  PostedRecv* deliver_rts(PendingRts rts);
+
+  /// Deadlock guard: a blocking operation that makes no progress for this
+  /// much virtual time indicates a hung workload and throws.
+  static constexpr sim::Time kProgressTimeout = sim::sec(5);
+
+  std::list<PostedRecv*> posted_;
+  std::deque<UnexpectedMsg> unexpected_;
+  std::deque<PendingRts> pending_rts_;
+  /// Copy cost accrued by deliveries inside progress; drained and charged
+  /// by the progress loop.
+  sim::Time pending_copy_cost_ = 0;
+};
+
+}  // namespace cord::mpi

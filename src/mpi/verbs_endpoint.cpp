@@ -1,0 +1,226 @@
+#include "mpi/verbs_endpoint.hpp"
+
+#include <cstring>
+
+namespace cord::mpi {
+
+namespace {
+std::uintptr_t uptr(const void* p) { return reinterpret_cast<std::uintptr_t>(p); }
+}  // namespace
+
+VerbsEndpoint::VerbsEndpoint(int rank, int world_size, verbs::Context ctx,
+                             Config cfg)
+    : rank_(rank), world_size_(world_size), ctx_(std::move(ctx)), cfg_(cfg) {
+  qps_.resize(world_size_, nullptr);
+}
+
+sim::Task<> VerbsEndpoint::setup() {
+  pd_ = co_await ctx_.alloc_pd();
+  const std::uint32_t cq_cap = 4 * (cfg_.srq_slots + cfg_.send_slots) + 1024;
+  scq_ = co_await ctx_.create_cq(cq_cap);
+  rcq_ = co_await ctx_.create_cq(cq_cap);
+  srq_ = co_await ctx_.create_srq(pd_, cfg_.srq_slots);
+
+  send_arena_.resize(cfg_.send_slots * slot_size());
+  recv_arena_.resize(cfg_.srq_slots * slot_size());
+  send_mr_ = co_await ctx_.reg_mr(pd_, send_arena_.data(), send_arena_.size(),
+                                  nic::kAccessLocalWrite);
+  recv_mr_ = co_await ctx_.reg_mr(pd_, recv_arena_.data(), recv_arena_.size(),
+                                  nic::kAccessLocalWrite);
+  for (std::uint32_t s = 0; s < cfg_.send_slots; ++s) free_slots_.push_back(s);
+  for (std::uint32_t s = 0; s < cfg_.srq_slots; ++s) {
+    const int rc = co_await ctx_.post_srq_recv(
+        *srq_, {s, {uptr(recv_slot(s)), static_cast<std::uint32_t>(slot_size()),
+                    recv_mr_->lkey}});
+    if (rc != 0) throw std::runtime_error("SRQ prefill failed");
+  }
+}
+
+sim::Task<> VerbsEndpoint::wire(VerbsEndpoint& a, VerbsEndpoint& b) {
+  const nic::QpConfig qc_a{nic::QpType::kRC, a.pd_,  a.scq_, a.rcq_,
+                           256,              0,      220,    a.srq_};
+  const nic::QpConfig qc_b{nic::QpType::kRC, b.pd_,  b.scq_, b.rcq_,
+                           256,              0,      220,    b.srq_};
+  nic::QueuePair* qa = co_await a.ctx_.create_qp(qc_a);
+  nic::QueuePair* qb = co_await b.ctx_.create_qp(qc_b);
+  if (qa == nullptr || qb == nullptr) throw std::runtime_error("create_qp failed");
+  int rc = co_await a.ctx_.connect_qp(*qa, {b.ctx_.node(), qb->qpn()});
+  if (rc != 0) throw std::runtime_error("wire: connect a failed");
+  rc = co_await b.ctx_.connect_qp(*qb, {a.ctx_.node(), qa->qpn()});
+  if (rc != 0) throw std::runtime_error("wire: connect b failed");
+  a.qps_[b.rank_] = qa;
+  b.qps_[a.rank_] = qb;
+  a.qpn_to_peer_[qa->qpn()] = b.rank_;
+  b.qpn_to_peer_[qb->qpn()] = a.rank_;
+}
+
+sim::Task<std::uint32_t> VerbsEndpoint::acquire_slot() {
+  co_await progress_until([&] { return !free_slots_.empty(); }, "acquire_slot");
+  const std::uint32_t s = free_slots_.front();
+  free_slots_.pop_front();
+  co_return s;
+}
+
+sim::Task<> VerbsEndpoint::post_with_retry(nic::QueuePair& qp, nic::SendWr wr) {
+  for (;;) {
+    const int rc = co_await ctx_.post_send(qp, wr);
+    if (rc == 0) co_return;
+    if (rc != nic::kErrQueueFull) {
+      throw std::runtime_error("MPI post_send failed");
+    }
+    (void)co_await progress_once();  // drain completions to free SQ credits
+  }
+}
+
+sim::Task<const nic::MemoryRegion*> VerbsEndpoint::get_mr(const void* p,
+                                                          std::size_t len) {
+  const auto key = std::make_pair(uptr(p), len);
+  auto it = mr_cache_.find(key);
+  if (it != mr_cache_.end()) co_return it->second;
+  const nic::MemoryRegion* mr = co_await ctx_.reg_mr(
+      pd_, const_cast<void*>(p), len,
+      nic::kAccessLocalWrite | nic::kAccessRemoteRead | nic::kAccessRemoteWrite);
+  mr_cache_[key] = mr;
+  co_return mr;
+}
+
+sim::Task<> VerbsEndpoint::post_slot_message(int dst, const WireHeader& hdr,
+                                             std::span<const std::byte> payload) {
+  const std::uint32_t slot = co_await acquire_slot();
+  std::byte* buf = send_slot(slot);
+  std::memcpy(buf, &hdr, sizeof(WireHeader));
+  if (!payload.empty()) {
+    std::memcpy(buf + sizeof(WireHeader), payload.data(), payload.size());
+    // The eager sender-side copy into the bounce buffer.
+    co_await core().work(core().memcpy_time(payload.size()), os::Work::kCompute);
+  }
+  const auto total = static_cast<std::uint32_t>(sizeof(WireHeader) + payload.size());
+  nic::SendWr wr;
+  wr.wr_id = kSendWrBase + slot;
+  wr.opcode = nic::Opcode::kSend;
+  wr.sge = {uptr(buf), total, send_mr_->lkey};
+  wr.inline_data = total <= qps_[dst]->config().max_inline;
+  co_await post_with_retry(*qps_[dst], std::move(wr));
+}
+
+sim::Task<> VerbsEndpoint::send(int dst, int tag, std::span<const std::byte> data) {
+  if (dst == rank_) {
+    // Self-sends do not touch the network (MPI implementations shortcut
+    // them in memory even with shared memory disabled).
+    deliver_eager(rank_, tag, data);
+    co_await core().work(core().memcpy_time(data.size()), os::Work::kCompute);
+    co_return;
+  }
+  if (data.size() <= cfg_.eager_threshold) {
+    WireHeader hdr{kKindEager, tag, data.size(), 0, 0, 0, 0};
+    co_await post_slot_message(dst, hdr, data);
+    co_return;
+  }
+  // Rendezvous.
+  const nic::MemoryRegion* mr = co_await get_mr(data.data(), data.size());
+  const std::uint64_t cookie = next_cookie_++;
+  awaiting_fin_.insert(cookie);
+  WireHeader hdr{kKindRts, tag, data.size(), cookie, uptr(data.data()), mr->rkey, 0};
+  co_await post_slot_message(dst, hdr, {});
+  co_await progress_until([&] { return !awaiting_fin_.contains(cookie); },
+                          "rendezvous FIN");
+}
+
+sim::Task<> VerbsEndpoint::start_pull(PostedRecv& pr, std::uint64_t rts_cookie) {
+  const auto key = std::make_pair(pr.src, rts_cookie);
+  const RtsInfo info = rts_info_.at(key);
+  rts_info_.erase(key);
+  const nic::MemoryRegion* mr = co_await get_mr(pr.out.data(), pr.out.size());
+  const std::uint64_t wr_id = next_read_wr_++;
+  reads_[wr_id] = ReadInFlight{&pr, info.src, rts_cookie, info.size};
+  nic::SendWr wr;
+  wr.wr_id = wr_id;
+  wr.opcode = nic::Opcode::kRdmaRead;
+  wr.sge = {uptr(pr.out.data()), static_cast<std::uint32_t>(info.size), mr->lkey};
+  wr.remote_addr = info.addr;
+  wr.rkey = info.rkey;
+  co_await post_with_retry(*qps_[info.src], std::move(wr));
+}
+
+sim::Task<> VerbsEndpoint::flush_deferred_fins() {
+  while (!deferred_fins_.empty() && !free_slots_.empty()) {
+    const DeferredFin fin = deferred_fins_.front();
+    deferred_fins_.pop_front();
+    WireHeader hdr{kKindFin, 0, 0, fin.cookie, 0, 0, 0};
+    co_await post_slot_message(fin.dst, hdr, {});
+  }
+}
+
+sim::Task<bool> VerbsEndpoint::progress_once() {
+  std::array<nic::Cqe, 16> wc;
+
+  // Send-side completions: free bounce slots, finish rendezvous reads.
+  std::size_t n = co_await ctx_.poll_cq(*scq_, wc);
+  for (std::size_t i = 0; i < n; ++i) {
+    const nic::Cqe& c = wc[i];
+    if (c.status != nic::WcStatus::kSuccess) {
+      throw std::runtime_error(std::string("MPI send completion error: ") +
+                               std::string(nic::to_string(c.status)));
+    }
+    if (c.wr_id >= kReadWrBase) {
+      auto it = reads_.find(c.wr_id);
+      if (it == reads_.end()) throw std::runtime_error("unknown read completion");
+      ReadInFlight r = it->second;
+      reads_.erase(it);
+      r.pr->got = r.size;
+      r.pr->done = true;
+      deferred_fins_.push_back({r.src, r.cookie});
+    } else {
+      free_slots_.push_back(static_cast<std::uint32_t>(c.wr_id - kSendWrBase));
+    }
+  }
+
+  // Receive-side completions: parse eager/RTS/FIN, repost SRQ slots.
+  std::size_t m = co_await ctx_.poll_cq(*rcq_, wc);
+  for (std::size_t i = 0; i < m; ++i) {
+    const nic::Cqe& c = wc[i];
+    if (c.status != nic::WcStatus::kSuccess) {
+      throw std::runtime_error(std::string("MPI recv completion error: ") +
+                               std::string(nic::to_string(c.status)));
+    }
+    const auto slot = static_cast<std::uint32_t>(c.wr_id);
+    const std::byte* buf = recv_slot(slot);
+    WireHeader hdr;
+    std::memcpy(&hdr, buf, sizeof(WireHeader));
+    const auto peer_it = qpn_to_peer_.find(c.qp_num);
+    if (peer_it == qpn_to_peer_.end()) throw std::runtime_error("unknown QP");
+    const int src = peer_it->second;
+    switch (hdr.kind) {
+      case kKindEager:
+        deliver_eager(src, hdr.tag,
+                      {buf + sizeof(WireHeader), static_cast<std::size_t>(hdr.size)});
+        break;
+      case kKindRts: {
+        rts_info_[{src, hdr.cookie}] = RtsInfo{src, hdr.size, hdr.addr, hdr.rkey};
+        PostedRecv* pr = deliver_rts({src, hdr.tag, hdr.size, hdr.cookie});
+        if (pr != nullptr) co_await start_pull(*pr, hdr.cookie);
+        break;
+      }
+      case kKindFin:
+        awaiting_fin_.erase(hdr.cookie);
+        break;
+      default:
+        throw std::runtime_error("corrupt MPI wire header");
+    }
+    const int rc = co_await ctx_.post_srq_recv(
+        *srq_, {slot, {uptr(recv_slot(slot)),
+                       static_cast<std::uint32_t>(slot_size()), recv_mr_->lkey}});
+    if (rc != 0) throw std::runtime_error("SRQ repost failed");
+  }
+
+  // Charge the receive-side copies accrued by deliver_eager.
+  if (pending_copy_cost_ > 0) {
+    const sim::Time cost = pending_copy_cost_;
+    pending_copy_cost_ = 0;
+    co_await core().work(cost, os::Work::kCompute);
+  }
+  co_await flush_deferred_fins();
+  co_return n > 0 || m > 0;
+}
+
+}  // namespace cord::mpi

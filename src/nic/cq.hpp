@@ -1,0 +1,70 @@
+// Completion queue: a bounded ring of CQEs living in host memory. Polling
+// it costs nothing at the device (the paper's "polling" pillar): the CPU
+// cost of a poll is charged by the verbs layer. Arming requests a one-shot
+// interrupt on the next completion (the `ibv_req_notify_cq` path used when
+// polling is disabled).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+
+#include "nic/types.hpp"
+
+namespace cord::nic {
+
+class CompletionQueue {
+ public:
+  CompletionQueue(std::uint32_t cqn, std::uint32_t capacity)
+      : cqn_(cqn), capacity_(capacity) {}
+
+  std::uint32_t cqn() const { return cqn_; }
+  std::uint32_t capacity() const { return capacity_; }
+  bool overflowed() const { return overflowed_; }
+  std::size_t depth() const { return entries_.size(); }
+
+  /// Device side: append a CQE. Returns false (and latches the overflow
+  /// flag) if the ring is full — a fatal condition, as on real hardware.
+  bool push(const Cqe& cqe) {
+    if (entries_.size() >= capacity_) {
+      overflowed_ = true;
+      return false;
+    }
+    entries_.push_back(cqe);
+    if (armed_) {
+      armed_ = false;
+      if (on_event_) on_event_(*this);
+    }
+    return true;
+  }
+
+  /// Host side: harvest up to out.size() completions. Returns the count.
+  std::size_t poll(std::span<Cqe> out) {
+    std::size_t n = 0;
+    while (n < out.size() && !entries_.empty()) {
+      out[n++] = entries_.front();
+      entries_.pop_front();
+    }
+    return n;
+  }
+
+  /// Request a one-shot completion event (interrupt) on the next CQE.
+  void arm() { armed_ = true; }
+  bool armed() const { return armed_; }
+
+  /// Installed by the kernel: invoked when an armed CQ receives a CQE.
+  void set_event_handler(std::function<void(CompletionQueue&)> handler) {
+    on_event_ = std::move(handler);
+  }
+
+ private:
+  std::uint32_t cqn_;
+  std::uint32_t capacity_;
+  std::deque<Cqe> entries_;
+  bool armed_ = false;
+  bool overflowed_ = false;
+  std::function<void(CompletionQueue&)> on_event_;
+};
+
+}  // namespace cord::nic

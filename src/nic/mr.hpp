@@ -1,0 +1,82 @@
+// Memory registration: the NIC-side table that makes zero-copy safe.
+// Every DMA the simulated NIC performs is validated against this table,
+// exactly like the real device validates lkeys/rkeys — this is what lets
+// CoRD keep zero-copy while the kernel owns the data path.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "nic/types.hpp"
+
+namespace cord::nic {
+
+struct MemoryRegion {
+  std::uintptr_t addr = 0;
+  std::size_t length = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t access = kAccessNone;
+  ProtectionDomainId pd = 0;
+
+  bool covers(std::uintptr_t a, std::size_t len) const {
+    return a >= addr && len <= length && a - addr <= length - len;
+  }
+};
+
+/// Registration table; lkey and rkey spaces are distinct (as in mlx5,
+/// where they happen to be equal per MR — we keep them equal too, but look
+/// them up through separate indices to model the separate validation paths).
+class MrTable {
+ public:
+  const MemoryRegion& register_mr(ProtectionDomainId pd, std::uintptr_t addr,
+                                  std::size_t length, std::uint32_t access) {
+    const std::uint32_t key = next_key_++;
+    MemoryRegion mr{addr, length, key, key, access, pd};
+    auto [it, ok] = by_lkey_.emplace(key, mr);
+    by_rkey_.emplace(key, &it->second);
+    return it->second;
+  }
+
+  bool deregister_mr(std::uint32_t lkey) {
+    auto it = by_lkey_.find(lkey);
+    if (it == by_lkey_.end()) return false;
+    by_rkey_.erase(it->second.rkey);
+    by_lkey_.erase(it);
+    return true;
+  }
+
+  /// Validate a local SGE: lkey exists, PD matches, range is covered.
+  /// `needs_local_write` is set for receive buffers and read-response
+  /// targets.
+  const MemoryRegion* check_local(const Sge& sge, ProtectionDomainId pd,
+                                  bool needs_local_write) const {
+    auto it = by_lkey_.find(sge.lkey);
+    if (it == by_lkey_.end()) return nullptr;
+    const MemoryRegion& mr = it->second;
+    if (mr.pd != pd) return nullptr;
+    if (!mr.covers(sge.addr, sge.length)) return nullptr;
+    if (needs_local_write && (mr.access & kAccessLocalWrite) == 0) return nullptr;
+    return &mr;
+  }
+
+  /// Validate a remote access (inbound RDMA read/write).
+  const MemoryRegion* check_remote(std::uint32_t rkey, std::uintptr_t addr,
+                                   std::size_t len, std::uint32_t required_access) const {
+    auto it = by_rkey_.find(rkey);
+    if (it == by_rkey_.end()) return nullptr;
+    const MemoryRegion& mr = *it->second;
+    if ((mr.access & required_access) != required_access) return nullptr;
+    if (!mr.covers(addr, len)) return nullptr;
+    return &mr;
+  }
+
+  std::size_t size() const { return by_lkey_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, MemoryRegion> by_lkey_;
+  std::unordered_map<std::uint32_t, MemoryRegion*> by_rkey_;
+  std::uint32_t next_key_ = 0x1000;
+};
+
+}  // namespace cord::nic

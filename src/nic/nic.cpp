@@ -1,0 +1,636 @@
+#include "nic/nic.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cord::nic {
+
+std::string_view to_string(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess: return "success";
+    case WcStatus::kLocalLengthError: return "local-length-error";
+    case WcStatus::kLocalProtectionError: return "local-protection-error";
+    case WcStatus::kRemoteAccessError: return "remote-access-error";
+    case WcStatus::kRemoteInvalidRequest: return "remote-invalid-request";
+    case WcStatus::kRnrRetryExceeded: return "rnr-retry-exceeded";
+    case WcStatus::kWorkRequestFlushed: return "work-request-flushed";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kSend: return "send";
+    case Opcode::kSendWithImm: return "send-imm";
+    case Opcode::kRdmaWrite: return "rdma-write";
+    case Opcode::kRdmaWriteWithImm: return "rdma-write-imm";
+    case Opcode::kRdmaRead: return "rdma-read";
+    case Opcode::kFetchAdd: return "fetch-add";
+    case Opcode::kCompareSwap: return "compare-swap";
+  }
+  return "unknown";
+}
+
+namespace {
+
+WcOpcode wc_opcode(Opcode op) {
+  switch (op) {
+    case Opcode::kSend:
+    case Opcode::kSendWithImm:
+      return WcOpcode::kSend;
+    case Opcode::kRdmaWrite:
+    case Opcode::kRdmaWriteWithImm:
+      return WcOpcode::kRdmaWrite;
+    case Opcode::kRdmaRead:
+      return WcOpcode::kRdmaRead;
+    case Opcode::kFetchAdd:
+      return WcOpcode::kFetchAdd;
+    case Opcode::kCompareSwap:
+      return WcOpcode::kCompareSwap;
+  }
+  return WcOpcode::kSend;
+}
+
+std::uint64_t payload_len(const SendWr& wr) {
+  return wr.inline_data ? wr.inline_payload.size() : wr.sge.length;
+}
+
+const std::byte* payload_ptr(const SendWr& wr) {
+  return wr.inline_data ? wr.inline_payload.data()
+                        : reinterpret_cast<const std::byte*>(wr.sge.addr);
+}
+
+}  // namespace
+
+void NicRegistry::add(Nic& nic) { nics_[nic.node()] = &nic; }
+
+Nic* NicRegistry::find(NodeId id) const {
+  auto it = nics_.find(id);
+  return it == nics_.end() ? nullptr : it->second;
+}
+
+Nic::Nic(sim::Engine& engine, fabric::Network& network, NicRegistry& registry,
+         NodeId node, const NicConfig& cfg)
+    : engine_(&engine),
+      network_(&network),
+      registry_(&registry),
+      node_(node),
+      cfg_(cfg),
+      processing_(engine),
+      dma_rd_(engine),
+      dma_wr_(engine) {
+  registry.add(*this);
+}
+
+CompletionQueue* Nic::create_cq(std::uint32_t capacity) {
+  const std::uint32_t cqn = next_cqn_++;
+  auto [it, ok] = cqs_.emplace(cqn, std::make_unique<CompletionQueue>(cqn, capacity));
+  return it->second.get();
+}
+
+QueuePair* Nic::create_qp(const QpConfig& cfg) {
+  if (cfg.send_cq == nullptr || cfg.recv_cq == nullptr) return nullptr;
+  const std::uint32_t qpn = next_qpn_++;
+  QpConfig clamped = cfg;
+  // The device caps the inline size it accepts (ibv_create_qp adjusts
+  // cap.max_inline_data the same way).
+  clamped.max_inline = std::min(clamped.max_inline, cfg_.max_inline);
+  auto [it, ok] = qps_.emplace(qpn, std::make_unique<QueuePair>(qpn, clamped));
+  return it->second.get();
+}
+
+void Nic::destroy_qp(std::uint32_t qpn) { qps_.erase(qpn); }
+
+SharedReceiveQueue* Nic::create_srq(ProtectionDomainId pd, std::uint32_t capacity) {
+  const std::uint32_t srqn = next_srqn_++;
+  auto [it, ok] =
+      srqs_.emplace(srqn, std::make_unique<SharedReceiveQueue>(srqn, pd, capacity));
+  return it->second.get();
+}
+
+int Nic::post_srq_recv(SharedReceiveQueue& srq, RecvWr wr) {
+  if (srq.wqes_.size() >= srq.capacity()) return kErrQueueFull;
+  if (wr.sge.length > 0 &&
+      mrs_.check_local(wr.sge, srq.pd(), /*needs_local_write=*/true) == nullptr) {
+    return kErrInvalid;
+  }
+  srq.wqes_.push_back(wr);
+  return kOk;
+}
+
+QueuePair* Nic::find_qp(std::uint32_t qpn) const {
+  auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : it->second.get();
+}
+
+int Nic::modify_qp(QueuePair& qp, QpState target, AddressHandle dest) {
+  switch (target) {
+    case QpState::kReset:
+      qp.state_ = QpState::kReset;
+      qp.sq_.clear();
+      qp.rq_.clear();
+      qp.sq_inflight_ = 0;
+      return kOk;
+    case QpState::kInit:
+      if (qp.state_ != QpState::kReset) return kErrState;
+      qp.state_ = QpState::kInit;
+      return kOk;
+    case QpState::kRtr:
+      if (qp.state_ != QpState::kInit) return kErrState;
+      if (qp.type() == QpType::kRC) {
+        if (registry_->find(dest.node) == nullptr) return kErrInvalid;
+        qp.dest_ = dest;
+      }
+      qp.state_ = QpState::kRtr;
+      return kOk;
+    case QpState::kRts:
+      if (qp.state_ != QpState::kRtr) return kErrState;
+      qp.state_ = QpState::kRts;
+      return kOk;
+    case QpState::kError:
+      qp_set_error(qp);
+      return kOk;
+  }
+  return kErrInvalid;
+}
+
+void Nic::qp_set_error(QueuePair& qp) {
+  if (qp.state_ == QpState::kError) return;
+  qp.state_ = QpState::kError;
+  qp.counters_.errors++;
+  const sim::Time at = engine_->now() + cfg_.cqe_write;
+  for (const RecvWr& rwr : qp.rq_) {
+    complete_at(at, qp.recv_cq(),
+                Cqe{rwr.wr_id, WcStatus::kWorkRequestFlushed, WcOpcode::kRecv, 0,
+                    qp.qpn(), 0, 0, false});
+  }
+  qp.rq_.clear();
+  for (const SendWr& swr : qp.sq_) {
+    complete_at(at, qp.send_cq(),
+                Cqe{swr.wr_id, WcStatus::kWorkRequestFlushed, wc_opcode(swr.opcode),
+                    0, qp.qpn(), 0, 0, false});
+  }
+  qp.sq_.clear();
+}
+
+int Nic::post_send(QueuePair& qp, SendWr wr) {
+  if (qp.state_ != QpState::kRts) return kErrState;
+  if (qp.sq_.size() + qp.sq_inflight_ >= qp.config().sq_depth) return kErrQueueFull;
+  const bool is_atomic =
+      wr.opcode == Opcode::kFetchAdd || wr.opcode == Opcode::kCompareSwap;
+  if (qp.type() == QpType::kUD) {
+    if (wr.opcode != Opcode::kSend && wr.opcode != Opcode::kSendWithImm)
+      return kErrInvalid;
+    if (wr.sge.length > cfg_.mtu) return kErrInvalid;
+    if (registry_->find(wr.ud.node) == nullptr) return kErrInvalid;
+  }
+  if (is_atomic) {
+    // Atomics operate on exactly 8 remote bytes, naturally aligned.
+    if (wr.sge.length != 8 || wr.remote_addr % 8 != 0) return kErrInvalid;
+    if (wr.inline_data) return kErrInvalid;
+  }
+  if (wr.inline_data) {
+    if (wr.sge.length > qp.config().max_inline) return kErrInvalid;
+    if (wr.opcode == Opcode::kRdmaRead) return kErrInvalid;
+    wr.inline_payload.assign(mem(wr.sge.addr), mem(wr.sge.addr) + wr.sge.length);
+  }
+  qp.sq_.push_back(std::move(wr));
+  kick(qp);
+  return kOk;
+}
+
+int Nic::post_recv(QueuePair& qp, RecvWr wr) {
+  if (qp.config().srq != nullptr) return kErrInvalid;  // use post_srq_recv
+  if (qp.state_ == QpState::kReset || qp.state_ == QpState::kError)
+    return kErrState;
+  if (qp.rq_.size() >= qp.config().rq_depth) return kErrQueueFull;
+  if (wr.sge.length > 0 &&
+      mrs_.check_local(wr.sge, qp.pd(), /*needs_local_write=*/true) == nullptr) {
+    return kErrInvalid;
+  }
+  qp.rq_.push_back(wr);
+  return kOk;
+}
+
+void Nic::kick(QueuePair& qp) {
+  if (qp.sq_worker_active_) return;
+  qp.sq_worker_active_ = true;
+  engine_->call_in(cfg_.doorbell_latency, [this, qpn = qp.qpn()] {
+    if (find_qp(qpn) != nullptr) engine_->spawn(sq_worker(qpn));
+  });
+}
+
+sim::Task<> Nic::sq_worker(std::uint32_t qpn) {
+  for (;;) {
+    QueuePair* qp = find_qp(qpn);
+    if (qp == nullptr) co_return;
+    if (qp->state_ != QpState::kRts || qp->sq_.empty()) break;
+    SendWr wr = std::move(qp->sq_.front());
+    qp->sq_.pop_front();
+    qp->sq_inflight_++;
+    co_await processing_.use(cfg_.wqe_processing);
+    qp = find_qp(qpn);  // revalidate after suspension
+    if (qp == nullptr) co_return;
+    process_one(*qp, std::move(wr), 0);
+  }
+  if (QueuePair* qp = find_qp(qpn)) qp->sq_worker_active_ = false;
+}
+
+void Nic::retry_send(std::uint32_t qpn, std::shared_ptr<SendWr> wr,
+                     std::uint32_t rnr_attempts) {
+  QueuePair* qp = find_qp(qpn);
+  if (qp == nullptr || qp->state_ != QpState::kRts) return;
+  engine_->spawn([](Nic& nic, std::uint32_t qpn, std::shared_ptr<SendWr> wr,
+                    std::uint32_t attempts) -> sim::Task<> {
+    co_await nic.processing_.use(nic.cfg_.wqe_processing);
+    QueuePair* qp = nic.find_qp(qpn);
+    if (qp == nullptr) co_return;
+    // The credit for this WR is still held; process_one does not take one.
+    nic.process_one(*qp, std::move(*wr), attempts);
+  }(*this, qpn, std::move(wr), rnr_attempts));
+}
+
+void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
+  const std::uint64_t len = payload_len(wr);
+  const bool needs_local_write = wr.opcode == Opcode::kRdmaRead ||
+                                 wr.opcode == Opcode::kFetchAdd ||
+                                 wr.opcode == Opcode::kCompareSwap;
+
+  if (!wr.inline_data && len > 0 &&
+      mrs_.check_local(wr.sge, qp.pd(), needs_local_write) == nullptr) {
+    sender_complete(qp.qpn(), wr, WcStatus::kLocalProtectionError,
+                    engine_->now() + cfg_.cqe_write);
+    qp_set_error(qp);
+    return;
+  }
+
+  const bool is_ud = qp.type() == QpType::kUD;
+  const AddressHandle dest = is_ud ? wr.ud : qp.dest_;
+  Nic* dst = registry_->find(dest.node);
+  if (dst == nullptr) {
+    sender_complete(qp.qpn(), wr, WcStatus::kRemoteInvalidRequest,
+                    engine_->now() + cfg_.cqe_write);
+    if (!is_ud) qp_set_error(qp);
+    return;
+  }
+
+  if (rnr_attempts == 0) {
+    counters_.tx_msgs++;
+    counters_.tx_bytes += len;
+    qp.counters_.tx_msgs++;
+    qp.counters_.tx_bytes += len;
+  }
+
+  const std::uint32_t sqpn = qp.qpn();
+  switch (wr.opcode) {
+    case Opcode::kSend:
+    case Opcode::kSendWithImm: {
+      TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
+      auto shared = std::make_shared<SendWr>(std::move(wr));
+      if (is_ud) {
+        // Unreliable: the send completes once the last byte is on the wire.
+        sender_complete(sqpn, *shared, WcStatus::kSuccess,
+                        t.wire_done + cfg_.cqe_write);
+      }
+      engine_->call_at(t.wire_done,
+                       [this, dst, dqpn = dest.qpn, shared, sqpn,
+                        delivered = t.delivered, rnr_attempts, is_ud] {
+                         dst->handle_send_arrival(dqpn, shared, *this, sqpn,
+                                                  delivered, rnr_attempts, !is_ud);
+                       });
+      break;
+    }
+    case Opcode::kRdmaWrite:
+    case Opcode::kRdmaWriteWithImm: {
+      TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
+      auto shared = std::make_shared<SendWr>(std::move(wr));
+      engine_->call_at(t.wire_done,
+                       [this, dst, dqpn = dest.qpn, shared, sqpn,
+                        delivered = t.delivered, rnr_attempts] {
+                         dst->handle_write_arrival(dqpn, shared, *this, sqpn,
+                                                   delivered, rnr_attempts);
+                       });
+      break;
+    }
+    case Opcode::kRdmaRead: {
+      // Header-only read request towards the responder.
+      TxTimes t = schedule_chain(*dst, 0, /*skip_src_dma=*/true,
+                                 /*include_dst_dma=*/false);
+      auto shared = std::make_shared<SendWr>(std::move(wr));
+      engine_->call_at(t.wire_done, [this, dst, dqpn = dest.qpn, shared, sqpn] {
+        dst->handle_read_request(dqpn, shared, *this, sqpn);
+      });
+      break;
+    }
+    case Opcode::kFetchAdd:
+    case Opcode::kCompareSwap: {
+      // The request carries the operands (header-sized on the wire).
+      TxTimes t = schedule_chain(*dst, 0, /*skip_src_dma=*/true,
+                                 /*include_dst_dma=*/false);
+      auto shared = std::make_shared<SendWr>(std::move(wr));
+      engine_->call_at(t.wire_done, [this, dst, dqpn = dest.qpn, shared, sqpn] {
+        dst->handle_atomic_request(dqpn, shared, *this, sqpn);
+      });
+      break;
+    }
+  }
+}
+
+void Nic::handle_atomic_request(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+                                Nic& src, std::uint32_t src_qpn) {
+  QueuePair* qp = find_qp(local_qpn);
+  auto nak = [&](WcStatus status) {
+    send_ctrl(src, engine_->now(), [&src, src_qpn, wr, status] {
+      src.sender_complete(src_qpn, *wr, status,
+                          src.engine_->now() + src.cfg_.cqe_write);
+      if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
+    });
+  };
+  if (qp == nullptr || qp->state_ == QpState::kError ||
+      qp->state_ == QpState::kReset || qp->state_ == QpState::kInit) {
+    nak(WcStatus::kRemoteInvalidRequest);
+    return;
+  }
+  if (mrs_.check_remote(wr->rkey, wr->remote_addr, 8, kAccessRemoteAtomic) ==
+      nullptr) {
+    nak(WcStatus::kRemoteAccessError);
+    return;
+  }
+  // Atomics serialize on the responder's processing pipeline; the
+  // read-modify-write happens here, atomically with respect to all other
+  // simulated accesses (single-threaded event execution).
+  const sim::Time done = processing_.reserve(cfg_.rx_processing);
+  std::uint64_t old_value;
+  std::memcpy(&old_value, mem(wr->remote_addr), 8);
+  std::uint64_t new_value = old_value;
+  if (wr->opcode == Opcode::kFetchAdd) {
+    new_value = old_value + wr->compare_add;
+  } else if (old_value == wr->compare_add) {
+    new_value = wr->swap;
+  }
+  std::memcpy(mem(wr->remote_addr), &new_value, 8);
+  counters_.rx_msgs++;
+  // Response carries the old value back; the requester DMA-writes it into
+  // the caller's 8-byte buffer and completes.
+  engine_->call_at(done, [this, wr, old_value, &src, src_qpn] {
+    fabric::Path p = network_->path(node_, src.node());
+    const sim::Time w =
+        p.tx->reserve(p.bandwidth.time_for(cfg_.ack_bytes + 8));
+    const sim::Time arrive = w + p.propagation;
+    engine_->call_at(arrive, [this, wr, old_value, &src, src_qpn] {
+      std::memcpy(mem(wr->sge.addr), &old_value, 8);
+      src.sender_complete(src_qpn, *wr, WcStatus::kSuccess,
+                          src.engine_->now() + src.cfg_.ack_processing +
+                              src.cfg_.cqe_write);
+    });
+  });
+}
+
+void Nic::handle_send_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+                              Nic& src, std::uint32_t src_qpn, sim::Time delivered,
+                              std::uint32_t rnr_attempts, bool reliable) {
+  QueuePair* qp = find_qp(local_qpn);
+  const std::uint64_t len = payload_len(*wr);
+  if (qp == nullptr || qp->state_ == QpState::kError ||
+      qp->state_ == QpState::kReset || qp->state_ == QpState::kInit) {
+    if (reliable) {
+      send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
+        src.sender_complete(src_qpn, *wr, WcStatus::kRemoteInvalidRequest,
+                            src.engine_->now() + src.cfg_.cqe_write);
+        if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
+      });
+    }
+    return;  // UD: silently dropped
+  }
+
+  const bool is_ud = qp->type() == QpType::kUD;
+  SharedReceiveQueue* srq = qp->config().srq;
+  std::deque<RecvWr>& rq = srq != nullptr ? srq->wqes_ : qp->rq_;
+  if (rq.empty()) {
+    qp->counters_.rnr_events++;
+    if (!reliable) return;  // UD: datagram dropped
+    if (rnr_attempts + 1 >= src.cfg_.rnr_retries) {
+      send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
+        src.sender_complete(src_qpn, *wr, WcStatus::kRnrRetryExceeded,
+                            src.engine_->now() + src.cfg_.cqe_write);
+        if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
+      });
+    } else {
+      send_ctrl(src, engine_->now(), [&src, src_qpn, wr, rnr_attempts] {
+        src.engine_->call_in(src.cfg_.rnr_timer, [&src, src_qpn, wr, rnr_attempts] {
+          src.retry_send(src_qpn, wr, rnr_attempts + 1);
+        });
+      });
+    }
+    return;
+  }
+
+  RecvWr rwr = rq.front();
+  rq.pop_front();
+  if (srq != nullptr) srq->consumed_++;
+  const std::uint64_t needed = len + (is_ud ? kGrhBytes : 0);
+  if (needed > rwr.sge.length) {
+    complete_at(engine_->now() + cfg_.cqe_write, qp->recv_cq(),
+                Cqe{rwr.wr_id, WcStatus::kLocalLengthError, WcOpcode::kRecv, 0,
+                    local_qpn, src_qpn, 0, false});
+    qp_set_error(*qp);
+    if (reliable) {
+      send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
+        src.sender_complete(src_qpn, *wr, WcStatus::kRemoteInvalidRequest,
+                            src.engine_->now() + src.cfg_.cqe_write);
+        if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
+      });
+    }
+    return;
+  }
+
+  const sim::Time done = std::max(engine_->now(), delivered) + cfg_.rx_processing;
+  engine_->call_at(done, [this, local_qpn, wr, rwr, len, needed, &src, src_qpn,
+                          is_ud, reliable] {
+    QueuePair* qp = find_qp(local_qpn);
+    if (qp == nullptr) return;
+    if (len > 0) {
+      std::byte* dst_ptr = mem(rwr.sge.addr) + (is_ud ? kGrhBytes : 0);
+      std::memcpy(dst_ptr, payload_ptr(*wr), len);
+    }
+    counters_.rx_msgs++;
+    counters_.rx_bytes += len;
+    qp->counters_.rx_msgs++;
+    qp->counters_.rx_bytes += len;
+    const bool has_imm = wr->opcode == Opcode::kSendWithImm;
+    complete_at(engine_->now() + cfg_.cqe_write, qp->recv_cq(),
+                Cqe{rwr.wr_id, WcStatus::kSuccess, WcOpcode::kRecv,
+                    static_cast<std::uint32_t>(needed), local_qpn, src_qpn,
+                    wr->imm, has_imm});
+    if (reliable) {
+      send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
+        src.sender_complete(src_qpn, *wr, WcStatus::kSuccess,
+                            src.engine_->now() + src.cfg_.cqe_write);
+      });
+    }
+  });
+}
+
+void Nic::handle_write_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+                               Nic& src, std::uint32_t src_qpn, sim::Time delivered,
+                               std::uint32_t rnr_attempts) {
+  QueuePair* qp = find_qp(local_qpn);
+  const std::uint64_t len = payload_len(*wr);
+  auto nak = [&](WcStatus status) {
+    send_ctrl(src, engine_->now(), [&src, src_qpn, wr, status] {
+      src.sender_complete(src_qpn, *wr, status,
+                          src.engine_->now() + src.cfg_.cqe_write);
+      if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
+    });
+  };
+  if (qp == nullptr || qp->state_ == QpState::kError ||
+      qp->state_ == QpState::kReset || qp->state_ == QpState::kInit) {
+    nak(WcStatus::kRemoteInvalidRequest);
+    return;
+  }
+  if (mrs_.check_remote(wr->rkey, wr->remote_addr, len, kAccessRemoteWrite) ==
+      nullptr) {
+    nak(WcStatus::kRemoteAccessError);
+    return;
+  }
+  const bool has_imm = wr->opcode == Opcode::kRdmaWriteWithImm;
+  RecvWr rwr;
+  if (has_imm) {
+    if (qp->rq_.empty()) {
+      qp->counters_.rnr_events++;
+      if (rnr_attempts + 1 >= src.cfg_.rnr_retries) {
+        nak(WcStatus::kRnrRetryExceeded);
+      } else {
+        send_ctrl(src, engine_->now(), [&src, src_qpn, wr, rnr_attempts] {
+          src.engine_->call_in(src.cfg_.rnr_timer,
+                               [&src, src_qpn, wr, rnr_attempts] {
+                                 src.retry_send(src_qpn, wr, rnr_attempts + 1);
+                               });
+        });
+      }
+      return;
+    }
+    rwr = qp->rq_.front();
+    qp->rq_.pop_front();
+  }
+
+  const sim::Time done = std::max(engine_->now(), delivered) + cfg_.rx_processing;
+  engine_->call_at(done, [this, local_qpn, wr, rwr, len, &src, src_qpn, has_imm] {
+    QueuePair* qp = find_qp(local_qpn);
+    if (qp == nullptr) return;
+    if (len > 0) std::memcpy(mem(wr->remote_addr), payload_ptr(*wr), len);
+    counters_.rx_msgs++;
+    counters_.rx_bytes += len;
+    qp->counters_.rx_msgs++;
+    qp->counters_.rx_bytes += len;
+    if (has_imm) {
+      complete_at(engine_->now() + cfg_.cqe_write, qp->recv_cq(),
+                  Cqe{rwr.wr_id, WcStatus::kSuccess, WcOpcode::kRecvRdmaWithImm,
+                      static_cast<std::uint32_t>(len), local_qpn, src_qpn,
+                      wr->imm, true});
+    }
+    send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
+      src.sender_complete(src_qpn, *wr, WcStatus::kSuccess,
+                          src.engine_->now() + src.cfg_.cqe_write);
+    });
+  });
+}
+
+void Nic::handle_read_request(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+                              Nic& src, std::uint32_t src_qpn) {
+  QueuePair* qp = find_qp(local_qpn);
+  const std::uint64_t len = wr->sge.length;
+  auto nak = [&](WcStatus status) {
+    send_ctrl(src, engine_->now(), [&src, src_qpn, wr, status] {
+      src.sender_complete(src_qpn, *wr, status,
+                          src.engine_->now() + src.cfg_.cqe_write);
+      if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
+    });
+  };
+  if (qp == nullptr || qp->state_ == QpState::kError ||
+      qp->state_ == QpState::kReset || qp->state_ == QpState::kInit) {
+    nak(WcStatus::kRemoteInvalidRequest);
+    return;
+  }
+  if (mrs_.check_remote(wr->rkey, wr->remote_addr, len, kAccessRemoteRead) ==
+      nullptr) {
+    nak(WcStatus::kRemoteAccessError);
+    return;
+  }
+  // Responder streams the data back; charge responder-side processing.
+  processing_.reserve(cfg_.rx_processing);
+  counters_.rx_msgs++;  // the read request itself
+  TxTimes t = schedule_chain(src, len, /*skip_src_dma=*/false,
+                             /*include_dst_dma=*/true);
+  counters_.tx_bytes += len;
+  engine_->call_at(t.delivered, [this, wr, len, &src, src_qpn] {
+    if (len > 0)
+      std::memcpy(mem(wr->sge.addr), mem(wr->remote_addr), len);
+    src.counters_.rx_bytes += len;
+    src.sender_complete(src_qpn, *wr, WcStatus::kSuccess,
+                        src.engine_->now() + src.cfg_.ack_processing +
+                            src.cfg_.cqe_write);
+  });
+}
+
+void Nic::send_ctrl(Nic& dst, sim::Time earliest, std::function<void()> fn) {
+  fabric::Path p = network_->path(node_, dst.node());
+  const sim::Time w = p.tx->reserve_at(earliest, p.bandwidth.time_for(cfg_.ack_bytes));
+  engine_->call_at(w + p.propagation + dst.cfg_.ack_processing, std::move(fn));
+}
+
+Nic::TxTimes Nic::schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dma,
+                                 bool include_dst_dma) {
+  fabric::Path p = network_->path(node_, dst.node_);
+  // dma_latency is pipeline depth, not occupancy: reservations on the
+  // shared DMA engine consume only the transfer time, and the fixed
+  // latency shifts the readiness of every chunk afterwards. Folding the
+  // latency into the reservation's earliest-start would spuriously
+  // serialize unrelated messages (the engine would sit "reserved but
+  // idle" for the latency window) — catastrophic on loopback paths where
+  // source- and destination-side reservations share one engine.
+  sim::Time wire_done = engine_->now();
+  sim::Time last_dst = engine_->now();
+  std::uint64_t left = bytes;
+  do {
+    const std::uint64_t chunk = std::min<std::uint64_t>(left, cfg_.mtu);
+    const sim::Time s =
+        skip_src_dma
+            ? engine_->now()
+            : dma_rd_.reserve(cfg_.pcie_bandwidth.time_for(chunk)) + cfg_.dma_latency;
+    const sim::Time w =
+        p.tx->reserve_at(s, p.bandwidth.time_for(chunk + cfg_.header_bytes));
+    wire_done = w + p.propagation;
+    if (include_dst_dma) {
+      last_dst = dst.dma_wr_.reserve_at(wire_done,
+                                        dst.cfg_.pcie_bandwidth.time_for(chunk)) +
+                 dst.cfg_.dma_latency;
+    } else {
+      last_dst = wire_done;
+    }
+    left -= chunk;
+  } while (left > 0);
+  return TxTimes{wire_done, last_dst};
+}
+
+void Nic::complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe) {
+  engine_->call_at(at, [&cq, cqe] { cq.push(cqe); });
+}
+
+void Nic::sender_complete(std::uint32_t qpn, const SendWr& wr, WcStatus status,
+                          sim::Time at) {
+  engine_->call_at(std::max(engine_->now(), at),
+                   [this, qpn, wr_id = wr.wr_id, signaled = wr.signaled,
+                    op = wc_opcode(wr.opcode),
+                    len = static_cast<std::uint32_t>(payload_len(wr)), status] {
+                     QueuePair* qp = find_qp(qpn);
+                     if (qp == nullptr) return;
+                     if (qp->sq_inflight_ > 0) qp->sq_inflight_--;
+                     if (signaled || status != WcStatus::kSuccess) {
+                       qp->send_cq().push(
+                           Cqe{wr_id, status, op, len, qpn, 0, 0, false});
+                     }
+                   });
+}
+
+}  // namespace cord::nic

@@ -1,0 +1,179 @@
+// The simulated RDMA NIC (ConnectX-class device model).
+//
+// The NIC owns the protection/registration table, queue pairs and
+// completion queues of one host, executes work requests with a calibrated
+// cost model (WQE processing, PCIe DMA, wire serialization, ACKs), and
+// moves real bytes between registered buffers. It knows nothing about
+// kernel bypass vs CoRD: both the user-level driver (bypass) and the
+// kernel-level driver (CoRD) drive the same `post_send`/`post_recv`/
+// `ring_doorbell` interface — which is exactly the paper's point that the
+// two drivers are "largely equivalent, thereby ensuring a lightweight and
+// transparently interchangeable layer".
+//
+// Timing model: a message is pipelined at MTU granularity through three
+// FIFO resources — source PCIe DMA, wire direction, destination PCIe
+// DMA — using future-dated reservations, so both latency (pipelined) and
+// bandwidth (occupancy) are captured without per-packet events.
+//
+// Documented simplifications vs real RC:
+//  * On an RNR NAK only the affected WQE retries; later WQEs are not
+//    rolled back. Workloads in this repo pre-post receives, so RNR is an
+//    error-handling path, not a steady-state one.
+//  * post_recv validates the SGE eagerly (returns EINVAL) instead of
+//    failing at message arrival.
+//  * Non-inline payloads are copied out of the source buffer at delivery
+//    time; applications must keep buffers stable until completion (the
+//    same contract real verbs applications obey).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "fabric/link.hpp"
+#include "nic/config.hpp"
+#include "nic/cq.hpp"
+#include "nic/mr.hpp"
+#include "nic/qp.hpp"
+#include "nic/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace cord::nic {
+
+class Nic;
+
+/// Maps fabric node ids to NIC instances (the "subnet").
+class NicRegistry {
+ public:
+  void add(Nic& nic);
+  Nic* find(NodeId id) const;
+
+ private:
+  std::map<NodeId, Nic*> nics_;
+};
+
+/// Error codes returned by the post verbs (negative errno convention).
+inline constexpr int kOk = 0;
+inline constexpr int kErrInvalid = -22;   // EINVAL
+inline constexpr int kErrQueueFull = -105;  // ENOBUFS
+inline constexpr int kErrState = -107;    // ENOTCONN
+
+struct NicCounters {
+  std::uint64_t tx_msgs = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_msgs = 0;
+  std::uint64_t rx_bytes = 0;
+};
+
+class Nic {
+ public:
+  Nic(sim::Engine& engine, fabric::Network& network, NicRegistry& registry,
+      NodeId node, const NicConfig& cfg);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  NodeId node() const { return node_; }
+  const NicConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return *engine_; }
+  const NicCounters& counters() const { return counters_; }
+
+  // --- Control plane (reached through the kernel's ioctl path) ---------
+  ProtectionDomainId alloc_pd() { return next_pd_++; }
+  const MemoryRegion& register_mr(ProtectionDomainId pd, void* addr,
+                                  std::size_t length, std::uint32_t access) {
+    return mrs_.register_mr(pd, reinterpret_cast<std::uintptr_t>(addr), length, access);
+  }
+  bool deregister_mr(std::uint32_t lkey) { return mrs_.deregister_mr(lkey); }
+
+  CompletionQueue* create_cq(std::uint32_t capacity);
+  QueuePair* create_qp(const QpConfig& cfg);
+  void destroy_qp(std::uint32_t qpn);
+  QueuePair* find_qp(std::uint32_t qpn) const;
+  SharedReceiveQueue* create_srq(ProtectionDomainId pd, std::uint32_t capacity);
+
+  /// State transitions; `dest` is required for the RTR transition of RC.
+  int modify_qp(QueuePair& qp, QpState target, AddressHandle dest = {});
+
+  /// Force a QP into the error state, flushing outstanding work requests
+  /// (used by the kernel to revoke a connection — an OS-control feature).
+  void qp_set_error(QueuePair& qp);
+
+  // --- Data plane (reached directly in bypass mode, via syscall in CoRD)
+  int post_send(QueuePair& qp, SendWr wr);
+  int post_recv(QueuePair& qp, RecvWr wr);
+  int post_srq_recv(SharedReceiveQueue& srq, RecvWr wr);
+
+  const MrTable& mr_table() const { return mrs_; }
+
+ private:
+  friend class NicRegistry;
+
+  struct TxTimes {
+    sim::Time wire_done = 0;  // last byte arrived at the destination NIC
+    sim::Time delivered = 0;  // last byte written to destination memory
+  };
+
+  static std::byte* mem(std::uintptr_t addr) {
+    return reinterpret_cast<std::byte*>(addr);
+  }
+
+  /// Reserve the pipelined resource chain for `bytes` towards `dst`.
+  TxTimes schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dma,
+                         bool include_dst_dma);
+
+  void kick(QueuePair& qp);
+  sim::Task<> sq_worker(std::uint32_t qpn);
+  void process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts);
+  void retry_send(std::uint32_t qpn, std::shared_ptr<SendWr> wr,
+                  std::uint32_t rnr_attempts);
+
+  void handle_send_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+                           Nic& src, std::uint32_t src_qpn, sim::Time delivered,
+                           std::uint32_t rnr_attempts, bool reliable);
+  void handle_write_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+                            Nic& src, std::uint32_t src_qpn, sim::Time delivered,
+                            std::uint32_t rnr_attempts);
+  void handle_read_request(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+                           Nic& src, std::uint32_t src_qpn);
+  void handle_atomic_request(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+                             Nic& src, std::uint32_t src_qpn);
+
+  /// Schedule an ACK/NAK-sized packet back to `dst` and run `fn` when it
+  /// has been processed there.
+  void send_ctrl(Nic& dst, sim::Time earliest, std::function<void()> fn);
+
+  void complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe);
+  /// Sender-side completion for wr_id on `qpn` (releases the SQ credit;
+  /// emits a CQE only if the WR was signaled or failed).
+  void sender_complete(std::uint32_t qpn, const SendWr& wr, WcStatus status,
+                       sim::Time at);
+
+  sim::Engine* engine_;
+  fabric::Network* network_;
+  NicRegistry* registry_;
+  NodeId node_;
+  NicConfig cfg_;
+
+  sim::Resource processing_;  // WQE/command processing pipeline
+  // PCIe is full duplex and the device has independent read/write DMA
+  // engines; modelling them as one FIFO would let future-dated write
+  // reservations (arrivals) falsely block read reservations (sends) on
+  // loopback paths.
+  sim::Resource dma_rd_;      // payload fetches (TX side)
+  sim::Resource dma_wr_;      // payload deliveries (RX side)
+
+  MrTable mrs_;
+  std::map<std::uint32_t, std::unique_ptr<CompletionQueue>> cqs_;
+  std::map<std::uint32_t, std::unique_ptr<QueuePair>> qps_;
+  std::map<std::uint32_t, std::unique_ptr<SharedReceiveQueue>> srqs_;
+  ProtectionDomainId next_pd_ = 1;
+  std::uint32_t next_cqn_ = 1;
+  std::uint32_t next_qpn_ = 0x100;
+  std::uint32_t next_srqn_ = 1;
+
+  NicCounters counters_;
+};
+
+}  // namespace cord::nic

@@ -1,0 +1,35 @@
+// Shared receive queue: one pool of receive WQEs consumed by many QPs.
+// This is how verbs-based MPI implementations scale eager protocols to
+// full-mesh connectivity without per-QP receive rings.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "nic/types.hpp"
+
+namespace cord::nic {
+
+class SharedReceiveQueue {
+ public:
+  SharedReceiveQueue(std::uint32_t srqn, ProtectionDomainId pd,
+                     std::uint32_t capacity)
+      : srqn_(srqn), pd_(pd), capacity_(capacity) {}
+
+  std::uint32_t srqn() const { return srqn_; }
+  ProtectionDomainId pd() const { return pd_; }
+  std::uint32_t capacity() const { return capacity_; }
+  std::size_t depth() const { return wqes_.size(); }
+  std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  friend class Nic;
+
+  std::uint32_t srqn_;
+  ProtectionDomainId pd_;
+  std::uint32_t capacity_;
+  std::deque<RecvWr> wqes_;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace cord::nic

@@ -1,0 +1,119 @@
+// Wire-level vocabulary of the simulated RDMA NIC: opcodes, completion
+// statuses, work requests and completion entries. The names deliberately
+// mirror ibverbs so the verbs layer on top is a thin veneer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fabric/link.hpp"
+
+namespace cord::nic {
+
+using NodeId = fabric::NodeId;
+
+/// Work-request opcodes accepted on a send queue.
+enum class Opcode : std::uint8_t {
+  kSend,
+  kSendWithImm,
+  kRdmaWrite,
+  kRdmaWriteWithImm,
+  kRdmaRead,
+  kFetchAdd,
+  kCompareSwap,
+};
+
+/// Opcode reported in a completion entry.
+enum class WcOpcode : std::uint8_t {
+  kSend,
+  kRdmaWrite,
+  kRdmaRead,
+  kFetchAdd,
+  kCompareSwap,
+  kRecv,
+  kRecvRdmaWithImm,
+};
+
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kLocalLengthError,
+  kLocalProtectionError,
+  kRemoteAccessError,
+  kRemoteInvalidRequest,
+  kRnrRetryExceeded,
+  kWorkRequestFlushed,
+};
+
+std::string_view to_string(WcStatus s);
+std::string_view to_string(Opcode op);
+
+enum class QpType : std::uint8_t { kRC, kUD };
+enum class QpState : std::uint8_t { kReset, kInit, kRtr, kRts, kError };
+
+/// MR access permissions (bitmask).
+enum Access : std::uint32_t {
+  kAccessNone = 0,
+  kAccessLocalWrite = 1u << 0,
+  kAccessRemoteRead = 1u << 1,
+  kAccessRemoteWrite = 1u << 2,
+  kAccessRemoteAtomic = 1u << 3,
+};
+
+using ProtectionDomainId = std::uint32_t;
+
+struct Sge {
+  std::uintptr_t addr = 0;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+};
+
+/// Address handle for UD destinations.
+struct AddressHandle {
+  NodeId node = 0;
+  std::uint32_t qpn = 0;
+};
+
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  Sge sge;
+  bool signaled = true;
+  bool inline_data = false;
+  std::uint32_t imm = 0;
+  // RDMA targets.
+  std::uintptr_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+  // Atomic operands (kFetchAdd: compare_add is the addend; kCompareSwap:
+  // compare_add is the expected value, swap the replacement). The SGE
+  // names the 8-byte local buffer that receives the prior remote value.
+  std::uint64_t compare_add = 0;
+  std::uint64_t swap = 0;
+  // UD destination.
+  AddressHandle ud;
+  // Payload snapshot for inline sends, captured at post time (this is the
+  // semantic point of inline: the buffer may be reused immediately).
+  std::vector<std::byte> inline_payload;
+};
+
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  Sge sge;
+};
+
+struct Cqe {
+  std::uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  WcOpcode opcode = WcOpcode::kSend;
+  std::uint32_t byte_len = 0;
+  std::uint32_t qp_num = 0;
+  std::uint32_t src_qp = 0;
+  std::uint32_t imm = 0;
+  bool has_imm = false;
+};
+
+/// Grh prepended to UD receive payloads (matches InfiniBand semantics:
+/// the first 40 bytes of a UD receive buffer hold the global route header).
+inline constexpr std::uint32_t kGrhBytes = 40;
+
+}  // namespace cord::nic

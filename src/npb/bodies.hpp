@@ -1,0 +1,23 @@
+// Internal: per-kernel body entry points (one coroutine per rank).
+#pragma once
+
+#include "npb/npb.hpp"
+
+namespace cord::npb::internal {
+
+struct BodyContext {
+  Class cls = Class::kS;
+  bool verify = false;
+  int iterations = 0;  // 0 = class default
+};
+
+sim::Task<> ep_body(mpi::Rank& r, const BodyContext& ctx);
+sim::Task<> is_body(mpi::Rank& r, const BodyContext& ctx);
+sim::Task<> cg_body(mpi::Rank& r, const BodyContext& ctx);
+sim::Task<> mg_body(mpi::Rank& r, const BodyContext& ctx);
+sim::Task<> ft_body(mpi::Rank& r, const BodyContext& ctx);
+sim::Task<> lu_body(mpi::Rank& r, const BodyContext& ctx);
+sim::Task<> sp_body(mpi::Rank& r, const BodyContext& ctx);
+sim::Task<> bt_body(mpi::Rank& r, const BodyContext& ctx);
+
+}  // namespace cord::npb::internal

@@ -1,0 +1,62 @@
+// Internal helpers shared by the NPB kernel implementations.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "npb/npb.hpp"
+#include "sim/rng.hpp"
+
+namespace cord::npb::internal {
+
+using mpi::Op;
+using mpi::Rank;
+
+inline int ilog2(int v) {
+  int l = 0;
+  while ((1 << (l + 1)) <= v) ++l;
+  return l;
+}
+
+inline bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+/// Stamp a double buffer with a value derived from (rank, salt) so the
+/// receiver can verify both the sender identity and the exchange round.
+inline void stamp(std::span<double> buf, int rank, std::uint64_t salt) {
+  const double v = static_cast<double>(rank) * 1e6 +
+                   static_cast<double>(salt % 997) + 0.25;
+  for (double& d : buf) d = v;
+}
+
+inline void check_stamp(std::span<const double> buf, int expected_rank,
+                        std::uint64_t salt, const char* where) {
+  if (buf.empty()) return;
+  const double v = static_cast<double>(expected_rank) * 1e6 +
+                   static_cast<double>(salt % 997) + 0.25;
+  if (buf.front() != v || buf.back() != v) {
+    throw std::runtime_error(std::string("NPB integrity check failed: ") + where);
+  }
+}
+
+/// Factor a power-of-two process count into 2 dims (rows >= cols).
+inline std::pair<int, int> grid2d(int p) {
+  const int k = ilog2(p);
+  const int cols = 1 << (k / 2);
+  return {p / cols, cols};
+}
+
+/// Factor a power-of-two process count into 3 dims (z >= y >= x).
+inline std::array<int, 3> grid3d(int p) {
+  const int k = ilog2(p);
+  const int kx = k / 3;
+  const int ky = (k - kx) / 2;
+  const int kz = k - kx - ky;
+  return {1 << kx, 1 << ky, 1 << kz};
+}
+
+struct VerifyFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace cord::npb::internal

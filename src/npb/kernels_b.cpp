@@ -1,0 +1,222 @@
+// NPB kernels FT, LU, SP, BT.
+//
+// FT moves the largest messages (full-volume alltoall transposes), LU the
+// smallest and most numerous (pipelined wavefront planes), SP/BT sit in
+// between with multi-partition face exchanges every sweep stage.
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "npb/bodies.hpp"
+#include "npb/internal.hpp"
+
+namespace cord::npb::internal {
+
+// ---------------------------------------------------------------------------
+// FT — 3D FFT: per iteration one huge alltoall (the transpose between the
+// pencil layouts) plus a 2-double checksum allreduce.
+// ---------------------------------------------------------------------------
+
+sim::Task<> ft_body(mpi::Rank& r, const BodyContext& ctx) {
+  if (!is_pow2(r.size())) throw std::invalid_argument("FT needs 2^k ranks");
+  const std::uint64_t points = ctx.cls == Class::kS
+                                   ? (1ull << 18)          // 64^3
+                                   : ctx.cls == Class::kA
+                                         ? (1ull << 23)    // 256^2 x 128
+                                         : (1ull << 25);   // 512 x 256^2
+  const int iters_default = ctx.cls == Class::kB ? 20 : 6;
+  const int iters = ctx.iterations > 0 ? ctx.iterations : iters_default;
+  const double total_gop =
+      ctx.cls == Class::kS ? 0.2 : ctx.cls == Class::kA ? 7.12 : 92.5;
+  const double flops_per_iter = total_gop * 1e9 /
+                                static_cast<double>(iters_default) /
+                                static_cast<double>(r.size());
+
+  const int n = r.size();
+  // Local volume in doubles (complex = 2 doubles).
+  const auto local = static_cast<std::size_t>(
+      points / static_cast<std::uint64_t>(n) * 2);
+  const std::size_t block = local / static_cast<std::size_t>(n);
+  std::vector<double> in(block * static_cast<std::size_t>(n));
+  std::vector<double> out(in.size());
+
+  for (int it = 0; it < iters; ++it) {
+    co_await compute_flops(r, flops_per_iter * 0.5, 3.0);  // local FFT passes
+    if (ctx.verify) {
+      for (int i = 0; i < n; ++i) {
+        stamp(std::span<double>(in.data() + static_cast<std::size_t>(i) * block,
+                                block),
+              r.id(), static_cast<std::uint64_t>(it) * 100 + 7);
+      }
+    }
+    co_await r.alltoall<double>(in, out);
+    if (ctx.verify) {
+      for (int i = 0; i < n; ++i) {
+        check_stamp(std::span<const double>(
+                        out.data() + static_cast<std::size_t>(i) * block, block),
+                    i, static_cast<std::uint64_t>(it) * 100 + 7, "FT transpose");
+      }
+    }
+    co_await compute_flops(r, flops_per_iter * 0.5, 3.0);  // remaining FFT pass
+    std::array<double, 2> chk{1.0, 2.0}, chk_out{};
+    co_await r.allreduce<double>(chk, chk_out, Op::kSum);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LU — SSOR with pipelined wavefronts: for every k-plane of the lower
+// sweep, receive from north/west, compute, send south/east; the upper
+// sweep runs the mirror direction. Many small messages.
+// ---------------------------------------------------------------------------
+
+sim::Task<> lu_body(mpi::Rank& r, const BodyContext& ctx) {
+  if (!is_pow2(r.size())) throw std::invalid_argument("LU needs 2^k ranks");
+  const int n = ctx.cls == Class::kS ? 12 : ctx.cls == Class::kA ? 64 : 102;
+  const int iters_default = ctx.cls == Class::kS ? 50 : 250;
+  const int iters = ctx.iterations > 0 ? ctx.iterations : iters_default;
+  const double total_gop =
+      ctx.cls == Class::kS ? 0.1 : ctx.cls == Class::kA ? 64.6 : 271.0;
+  const double flops_per_iter = total_gop * 1e9 /
+                                static_cast<double>(iters_default) /
+                                static_cast<double>(r.size());
+
+  const auto [prow, pcol] = grid2d(r.size());
+  const int row = r.id() / pcol;
+  const int col = r.id() % pcol;
+  const int north = row > 0 ? r.id() - pcol : -1;
+  const int south = row < prow - 1 ? r.id() + pcol : -1;
+  const int west = col > 0 ? r.id() - 1 : -1;
+  const int east = col < pcol - 1 ? r.id() + 1 : -1;
+
+  // Pencil edge lengths; a plane message carries 5 variables per edge point.
+  const std::size_t edge_x = static_cast<std::size_t>(
+      std::max(1, n / prow) * 5);
+  const std::size_t edge_y = static_cast<std::size_t>(
+      std::max(1, n / pcol) * 5);
+  std::vector<double> buf_ns(edge_y), buf_ew(edge_x);
+
+  const int nz = n;
+  const double flops_per_plane =
+      flops_per_iter / (2.0 * static_cast<double>(nz));
+  for (int it = 0; it < iters; ++it) {
+    // Lower triangular sweep: wavefront from (0,0).
+    for (int k = 0; k < nz; ++k) {
+      const int tag = 60;
+      if (north >= 0) (void)co_await r.recv<double>(north, tag, buf_ns);
+      if (west >= 0) (void)co_await r.recv<double>(west, tag, buf_ew);
+      co_await compute_flops(r, flops_per_plane, 2.0);
+      if (south >= 0) co_await r.send<double>(south, tag, buf_ns);
+      if (east >= 0) co_await r.send<double>(east, tag, buf_ew);
+    }
+    // Upper triangular sweep: wavefront from the opposite corner.
+    for (int k = 0; k < nz; ++k) {
+      const int tag = 61;
+      if (south >= 0) (void)co_await r.recv<double>(south, tag, buf_ns);
+      if (east >= 0) (void)co_await r.recv<double>(east, tag, buf_ew);
+      co_await compute_flops(r, flops_per_plane, 2.0);
+      if (north >= 0) co_await r.send<double>(north, tag, buf_ns);
+      if (west >= 0) co_await r.send<double>(west, tag, buf_ew);
+    }
+    // Residual norms every iteration (5 doubles).
+    std::array<double, 5> norm{1, 1, 1, 1, 1};
+    std::array<double, 5> norm_out{};
+    co_await r.allreduce<double>(norm, norm_out, Op::kSum);
+    if (ctx.verify && norm_out[0] != static_cast<double>(r.size())) {
+      throw VerifyFailure("LU: norm allreduce wrong");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SP / BT — multi-partition ADI/block-tridiagonal solvers on a square
+// process grid: per iteration a copy-faces halo exchange plus, for each of
+// the three sweep directions, sqrt(P) pipeline stages each shipping one
+// cell face. Data- and message-intensive.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::Task<> adi_body(mpi::Rank& r, const BodyContext& ctx, bool is_sp) {
+  const int q = static_cast<int>(std::lround(std::sqrt(r.size())));
+  if (q * q != r.size()) throw std::invalid_argument("SP/BT need a square rank count");
+  const int n = ctx.cls == Class::kS ? 12 : ctx.cls == Class::kA ? 64 : 102;
+  const int iters_default =
+      ctx.cls == Class::kS ? 20 : is_sp ? 400 : 200;
+  const int iters = ctx.iterations > 0 ? ctx.iterations : iters_default;
+  const double total_gop = ctx.cls == Class::kS ? 0.2
+                           : ctx.cls == Class::kA
+                               ? (is_sp ? 102.0 : 168.0)
+                               : (is_sp ? 447.0 : 721.0);
+  const double flops_per_iter = total_gop * 1e9 /
+                                static_cast<double>(iters_default) /
+                                static_cast<double>(r.size());
+
+  const int gi = r.id() / q;
+  const int gj = r.id() % q;
+  auto rank_at = [&](int i, int j) { return ((i + q) % q) * q + ((j + q) % q); };
+
+  // One cell face: (n/q)^2 points x 5 variables. Each rank owns q cells
+  // (the multi-partition diagonal), so copy_faces ships q faces per
+  // neighbour while sweep stages ship one face per stage.
+  const int cell = std::max(1, n / q);
+  const auto face = static_cast<std::size_t>(cell * cell * 5);
+  std::vector<double> out_face(face), in_face(face);
+  std::vector<double> out_faces(face * static_cast<std::size_t>(q));
+  std::vector<double> in_faces(out_faces.size());
+
+  for (int it = 0; it < iters; ++it) {
+    // copy_faces: shift exchanges with the four grid neighbours (send in
+    // direction +d while receiving from -d, so every sendrecv pairs up
+    // with the matching one on the partner — no circular wait on rings).
+    for (auto [di, dj] : {std::pair{1, 0}, {-1, 0}, {0, 1}, {0, -1}}) {
+      const int dst = rank_at(gi + di, gj + dj);
+      const int src = rank_at(gi - di, gj - dj);
+      if (dst == r.id()) continue;
+      const std::uint64_t salt = static_cast<std::uint64_t>(it) * 100 +
+                                 static_cast<std::uint64_t>((di + 1) * 10 + dj + 1);
+      if (ctx.verify) stamp(out_faces, r.id(), salt);
+      co_await r.sendrecv<double>(dst, 70, out_faces, src, 70, in_faces);
+      if (ctx.verify) check_stamp(in_faces, src, salt, "SP/BT copy_faces");
+    }
+    // Three sweep directions, q pipeline stages each (multi-partition:
+    // every rank is active at every stage, shipping one cell face to the
+    // successor in the sweep direction).
+    for (int dim = 0; dim < 3; ++dim) {
+      for (int stage = 0; stage < q; ++stage) {
+        const int partner = dim == 0   ? rank_at(gi, gj + 1)
+                            : dim == 1 ? rank_at(gi + 1, gj)
+                                       : rank_at(gi + 1, gj + 1);
+        const int from = dim == 0   ? rank_at(gi, gj - 1)
+                         : dim == 1 ? rank_at(gi - 1, gj)
+                                    : rank_at(gi - 1, gj - 1);
+        if (partner == r.id()) continue;
+        co_await compute_flops(
+            r, flops_per_iter / (3.0 * static_cast<double>(q)),
+            5.0);  // dense line solves vectorize well
+        co_await r.sendrecv<double>(partner, 71 + dim, out_face, from, 71 + dim,
+                                    in_face);
+      }
+    }
+    // Once in a while the solver checks its residuals.
+    if (it % 5 == 0) {
+      std::array<double, 5> rms{1, 1, 1, 1, 1};
+      std::array<double, 5> rms_out{};
+      co_await r.allreduce<double>(rms, rms_out, Op::kSum);
+      if (ctx.verify && rms_out[0] != static_cast<double>(r.size())) {
+        throw VerifyFailure("SP/BT: rms allreduce wrong");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+sim::Task<> sp_body(mpi::Rank& r, const BodyContext& ctx) {
+  return adi_body(r, ctx, /*is_sp=*/true);
+}
+
+sim::Task<> bt_body(mpi::Rank& r, const BodyContext& ctx) {
+  return adi_body(r, ctx, /*is_sp=*/false);
+}
+
+}  // namespace cord::npb::internal

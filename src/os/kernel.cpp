@@ -1,0 +1,146 @@
+#include "os/kernel.hpp"
+
+namespace cord::os {
+
+sim::Task<> Kernel::ioctl(Core& core, sim::Time cmd_cost) {
+  ++syscalls_;
+  const sim::Time cost = core.syscall_cost() + cfg_.ioctl_serialize + cmd_cost;
+  co_await core.work(cost, Work::kKernel);
+}
+
+sim::Task<nic::ProtectionDomainId> Kernel::alloc_pd(Core& core) {
+  co_await ioctl(core, cfg_.control_cmd);
+  co_return nic_->alloc_pd();
+}
+
+sim::Task<const nic::MemoryRegion*> Kernel::reg_mr(Core& core,
+                                                   nic::ProtectionDomainId pd,
+                                                   void* addr, std::size_t len,
+                                                   std::uint32_t access) {
+  // Registration also pins pages: charge a per-page cost on top of the
+  // firmware command (page-table walk + pinning, ~120 ns/page).
+  const auto pages = static_cast<sim::Time>((len + 4095) / 4096);
+  co_await ioctl(core, cfg_.control_cmd + pages * sim::ns(120));
+  co_return &nic_->register_mr(pd, addr, len, access);
+}
+
+sim::Task<bool> Kernel::dereg_mr(Core& core, std::uint32_t lkey) {
+  co_await ioctl(core, cfg_.control_cmd);
+  co_return nic_->deregister_mr(lkey);
+}
+
+sim::Task<nic::CompletionQueue*> Kernel::create_cq(Core& core,
+                                                   std::uint32_t capacity) {
+  co_await ioctl(core, cfg_.control_cmd);
+  nic::CompletionQueue* cq = nic_->create_cq(capacity);
+  // Install the interrupt path: an armed CQ receiving a completion raises
+  // an IRQ; the kernel's handler wakes whoever sleeps on the CQ.
+  cq->set_event_handler([this](nic::CompletionQueue& c) {
+    engine_->call_in(nic_->config().interrupt_delivery, [this, &c] {
+      ++interrupts_;
+      cq_signal(c).trigger();
+    });
+  });
+  co_return cq;
+}
+
+sim::Task<nic::QueuePair*> Kernel::create_qp(Core& core, const nic::QpConfig& cfg) {
+  co_await ioctl(core, cfg_.control_cmd);
+  co_return nic_->create_qp(cfg);
+}
+
+sim::Task<nic::SharedReceiveQueue*> Kernel::create_srq(Core& core,
+                                                       nic::ProtectionDomainId pd,
+                                                       std::uint32_t capacity) {
+  co_await ioctl(core, cfg_.control_cmd);
+  co_return nic_->create_srq(pd, capacity);
+}
+
+sim::Task<int> Kernel::modify_qp(Core& core, nic::QueuePair& qp,
+                                 nic::QpState target, nic::AddressHandle dest) {
+  co_await ioctl(core, cfg_.control_cmd);
+  co_return nic_->modify_qp(qp, target, dest);
+}
+
+sim::Task<> Kernel::destroy_qp(Core& core, std::uint32_t qpn) {
+  co_await ioctl(core, cfg_.control_cmd);
+  nic_->destroy_qp(qpn);
+}
+
+sim::Task<int> Kernel::post_send(Core& core, TenantId tenant, nic::QueuePair& qp,
+                                 nic::SendWr wr) {
+  ++syscalls_;
+  const std::uint64_t bytes =
+      wr.inline_data ? wr.inline_payload.size() : wr.sge.length;
+  const nic::NodeId dst =
+      qp.type() == nic::QpType::kUD ? wr.ud.node : qp.dest().node;
+  const DataplaneOp op{DataplaneOp::Kind::kPostSend, tenant, qp.qpn(),
+                       wr.opcode, bytes, dst};
+  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  co_await core.work(core.syscall_cost() + cfg_.cord_post_work + v.cpu_cost,
+                     Work::kKernel);
+  if (!v.allow) co_return v.error;
+  if (v.pace_delay > 0) co_await core.idle(v.pace_delay);
+  co_await core.work(core.model().doorbell_mmio, Work::kKernel);
+  co_return nic_->post_send(qp, std::move(wr));
+}
+
+sim::Task<int> Kernel::post_recv(Core& core, TenantId tenant, nic::QueuePair& qp,
+                                 nic::RecvWr wr) {
+  ++syscalls_;
+  const DataplaneOp op{DataplaneOp::Kind::kPostRecv, tenant, qp.qpn(),
+                       nic::Opcode::kSend, wr.sge.length, 0};
+  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  co_await core.work(core.syscall_cost() + cfg_.cord_post_work + v.cpu_cost,
+                     Work::kKernel);
+  if (!v.allow) co_return v.error;
+  co_return nic_->post_recv(qp, wr);
+}
+
+sim::Task<int> Kernel::post_srq_recv(Core& core, TenantId tenant,
+                                     nic::SharedReceiveQueue& srq, nic::RecvWr wr) {
+  ++syscalls_;
+  const DataplaneOp op{DataplaneOp::Kind::kPostRecv, tenant, 0,
+                       nic::Opcode::kSend, wr.sge.length, 0};
+  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  co_await core.work(core.syscall_cost() + cfg_.cord_post_work + v.cpu_cost,
+                     Work::kKernel);
+  if (!v.allow) co_return v.error;
+  co_return nic_->post_srq_recv(srq, wr);
+}
+
+sim::Task<std::size_t> Kernel::poll_cq(Core& core, TenantId tenant,
+                                       nic::CompletionQueue& cq,
+                                       std::span<nic::Cqe> out) {
+  ++syscalls_;
+  const DataplaneOp op{DataplaneOp::Kind::kPollCq, tenant, 0,
+                       nic::Opcode::kSend, 0, 0};
+  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  const std::size_t n = cq.poll(out);
+  co_await core.work(core.syscall_cost() + cfg_.cord_poll_work + v.cpu_cost +
+                         static_cast<sim::Time>(n) * core.model().poll_hit,
+                     Work::kKernel);
+  co_return n;
+}
+
+sim::Task<> Kernel::wait_cq_event(Core& core, nic::CompletionQueue& cq) {
+  ++syscalls_;
+  co_await core.work(core.syscall_cost(), Work::kKernel);
+  if (cq.depth() > 0) co_return;  // completion raced ahead of the sleep
+  cq.arm();
+  if (cq.depth() > 0) co_return;  // re-check after arming (the usual dance)
+  co_await cq_signal(cq).wait();
+  // IRQ handler + scheduler wakeup on this core.
+  co_await core.work(core.model().interrupt_handling + core.model().wakeup_latency,
+                     Work::kKernel);
+}
+
+sim::Signal& Kernel::cq_signal(nic::CompletionQueue& cq) {
+  auto it = cq_signals_.find(cq.cqn());
+  if (it == cq_signals_.end()) {
+    it = cq_signals_.emplace(cq.cqn(), std::make_unique<sim::Signal>(*engine_)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace cord::os

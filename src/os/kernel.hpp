@@ -1,0 +1,147 @@
+// The simulated OS kernel of one host.
+//
+// Control plane: all verbs object management (PDs, MRs, CQs, QPs) goes
+// through the ioctl path with (de)serialization cost — identical for
+// bypass and CoRD, as in real RDMA.
+//
+// Data plane: CoRD's contribution. post_send / post_recv / poll_cq enter
+// the kernel via a syscall, run the policy chain, then invoke the
+// kernel-level driver, which drives the *same* NIC interface the
+// user-level driver uses in bypass mode (the paper's ~250-line mlx5
+// change). Without policies, the only overhead is the crossing itself.
+//
+// The kernel also owns interrupt delivery for armed CQs (the
+// "polling removed" path) and the OS-control operations CoRD enables
+// (revoking a QP, reading per-QP traffic counters).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "nic/nic.hpp"
+#include "os/cpu.hpp"
+#include "os/policy.hpp"
+#include "sim/event.hpp"
+
+namespace cord::os {
+
+struct KernelConfig {
+  /// Serialization + deserialization of ioctl argument structures.
+  sim::Time ioctl_serialize = sim::ns(350);
+  /// Firmware/command cost of creating or modifying a verbs object.
+  sim::Time control_cmd = sim::us(5);
+  /// Kernel-level driver work per CoRD post operation (on top of the
+  /// user-kernel crossing).
+  sim::Time cord_post_work = sim::ns(120);
+  /// Kernel-level driver work per CoRD poll operation.
+  sim::Time cord_poll_work = sim::ns(60);
+};
+
+class Kernel {
+ public:
+  Kernel(sim::Engine& engine, nic::Nic& nic, KernelConfig cfg = {})
+      : engine_(&engine), nic_(&nic), cfg_(cfg) {}
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  nic::Nic& nic() { return *nic_; }
+  const KernelConfig& config() const { return cfg_; }
+  PolicyChain& policies() { return policies_; }
+
+  // --- Control plane (ioctl path; same for bypass and CoRD) ------------
+  sim::Task<nic::ProtectionDomainId> alloc_pd(Core& core);
+  sim::Task<const nic::MemoryRegion*> reg_mr(Core& core, nic::ProtectionDomainId pd,
+                                             void* addr, std::size_t len,
+                                             std::uint32_t access);
+  sim::Task<bool> dereg_mr(Core& core, std::uint32_t lkey);
+  sim::Task<nic::CompletionQueue*> create_cq(Core& core, std::uint32_t capacity);
+  sim::Task<nic::QueuePair*> create_qp(Core& core, const nic::QpConfig& cfg);
+  sim::Task<nic::SharedReceiveQueue*> create_srq(Core& core,
+                                                 nic::ProtectionDomainId pd,
+                                                 std::uint32_t capacity);
+  sim::Task<int> modify_qp(Core& core, nic::QueuePair& qp, nic::QpState target,
+                           nic::AddressHandle dest = {});
+  sim::Task<> destroy_qp(Core& core, std::uint32_t qpn);
+
+  // --- CoRD data plane --------------------------------------------------
+  sim::Task<int> post_send(Core& core, TenantId tenant, nic::QueuePair& qp,
+                           nic::SendWr wr);
+  sim::Task<int> post_recv(Core& core, TenantId tenant, nic::QueuePair& qp,
+                           nic::RecvWr wr);
+  sim::Task<int> post_srq_recv(Core& core, TenantId tenant,
+                               nic::SharedReceiveQueue& srq, nic::RecvWr wr);
+  sim::Task<std::size_t> poll_cq(Core& core, TenantId tenant,
+                                 nic::CompletionQueue& cq, std::span<nic::Cqe> out);
+
+  // --- Interrupt-driven completion (the "no polling" path) --------------
+  /// Arm `cq` and sleep until it signals a completion event. Charges the
+  /// syscall, IRQ handling and wakeup costs. Returns immediately if a
+  /// completion is already pending.
+  sim::Task<> wait_cq_event(Core& core, nic::CompletionQueue& cq);
+
+  // --- OS-control operations enabled by kernel-owned state --------------
+  /// Forcibly transition a QP to the error state, flushing its work.
+  void revoke_qp(nic::QueuePair& qp) { nic_->qp_set_error(qp); }
+  /// Read per-QP traffic counters without application cooperation.
+  const nic::QpCounters* qp_counters(std::uint32_t qpn) const {
+    const nic::QueuePair* qp = nic_->find_qp(qpn);
+    return qp == nullptr ? nullptr : &qp->counters();
+  }
+
+  std::uint64_t syscall_count() const { return syscalls_; }
+  std::uint64_t interrupt_count() const { return interrupts_; }
+
+ private:
+  /// Full ioctl round trip: crossing + serialization + command.
+  sim::Task<> ioctl(Core& core, sim::Time cmd_cost);
+  sim::Signal& cq_signal(nic::CompletionQueue& cq);
+
+  sim::Engine* engine_;
+  nic::Nic* nic_;
+  KernelConfig cfg_;
+  PolicyChain policies_;
+  std::map<std::uint32_t, std::unique_ptr<sim::Signal>> cq_signals_;
+  std::uint64_t syscalls_ = 0;
+  std::uint64_t interrupts_ = 0;
+};
+
+/// A host: one NIC, one kernel, N cores. Benchmark processes and MPI
+/// ranks bind to cores of a host.
+class Host {
+ public:
+  Host(sim::Engine& engine, fabric::Network& network, nic::NicRegistry& registry,
+       nic::NodeId node, const nic::NicConfig& nic_cfg, const CpuModel& cpu,
+       KernelConfig kernel_cfg = {})
+      : engine_(&engine),
+        cpu_model_(cpu),
+        nic_(engine, network, registry, node, nic_cfg),
+        kernel_(engine, nic_, kernel_cfg) {}
+
+  sim::Engine& engine() { return *engine_; }
+  nic::Nic& nic() { return nic_; }
+  Kernel& kernel() { return kernel_; }
+  const CpuModel& cpu_model() const { return cpu_model_; }
+  nic::NodeId node() const { return nic_.node(); }
+
+  /// Cores are created on first use; each gets a distinct RNG stream.
+  Core& core(std::size_t idx) {
+    while (cores_.size() <= idx) {
+      cores_.push_back(std::make_unique<Core>(
+          *engine_, cpu_model_,
+          0xC0FFEEull * (cores_.size() + 1) + nic_.node() * 7919));
+    }
+    return *cores_[idx];
+  }
+  std::size_t core_count() const { return cores_.size(); }
+
+ private:
+  sim::Engine* engine_;
+  CpuModel cpu_model_;
+  nic::Nic nic_;
+  Kernel kernel_;
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+}  // namespace cord::os

@@ -1,0 +1,62 @@
+// Channel<T>: an unbounded FIFO between simulated activities with
+// suspending receive. Sends never block (device queues in this codebase
+// model backpressure explicitly with Resource / ring capacities instead).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace cord::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void send(T value) {
+    items_.push_back(std::move(value));
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_->schedule_at(engine_->now(), h);
+    }
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Non-suspending receive; caller must check empty() first.
+  T take() {
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Suspending receive: waits until an item is available.
+  Task<T> recv() {
+    while (items_.empty()) co_await wait_nonempty();
+    co_return take();
+  }
+
+ private:
+  auto wait_nonempty() {
+    struct Awaiter {
+      Channel& ch;
+      bool await_ready() const { return !ch.items_.empty(); }
+      void await_suspend(std::coroutine_handle<> h) { ch.waiters_.push_back(h); }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace cord::sim

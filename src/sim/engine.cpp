@@ -1,0 +1,63 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace cord::sim {
+
+namespace detail {
+void notify_root_done(Engine& engine, std::uint64_t root_id) noexcept {
+  engine.roots_.erase(root_id);
+}
+}  // namespace detail
+
+Engine::~Engine() {
+  // Destroy roots that never completed (their frames own all nested
+  // coroutine frames through Task members, so this reclaims the whole
+  // logical stack of each process).
+  for (auto& [id, h] : roots_) h.destroy();
+  roots_.clear();
+}
+
+void Engine::schedule_at(Time t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "scheduling into the past");
+  queue_.push(Item{t, next_seq_++, h, nullptr});
+}
+
+void Engine::call_at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "scheduling into the past");
+  queue_.push(Item{t, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Engine::dispatch(Item& item) {
+  ++events_processed_;
+  if (item.handle) {
+    item.handle.resume();
+  } else {
+    item.fn();
+  }
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.t;
+    dispatch(item);
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.t;
+    dispatch(item);
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace cord::sim

@@ -1,0 +1,109 @@
+// Discrete-event engine: a single-threaded virtual clock plus an event
+// queue of coroutine resumptions and callbacks. Deterministic: ties in
+// timestamp break by insertion sequence number.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/units.hpp"
+
+namespace cord::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  Time now() const { return now_; }
+
+  /// Resume `h` at absolute time `t` (must be >= now()).
+  void schedule_at(Time t, std::coroutine_handle<> h);
+  /// Resume `h` after `delay`.
+  void schedule_in(Time delay, std::coroutine_handle<> h) {
+    schedule_at(now_ + delay, h);
+  }
+  /// Run `fn` at absolute time `t` (used for device callbacks, interrupts).
+  void call_at(Time t, std::function<void()> fn);
+  void call_in(Time delay, std::function<void()> fn) { call_at(now_ + delay, std::move(fn)); }
+
+  /// Detach a root task: it starts at the current time and owns itself.
+  template <typename T>
+  void spawn(Task<T> task) {
+    auto h = task.release();
+    auto& p = h.promise();
+    p.owner_engine = this;
+    p.root_id = next_root_id_++;
+    roots_.emplace(p.root_id, h);
+    schedule_at(now_, h);
+  }
+
+  /// Run until the event queue drains. Returns the final virtual time.
+  Time run();
+  /// Run until the queue drains or virtual time would pass `deadline`.
+  /// Events after `deadline` stay queued; now() is clamped to `deadline`.
+  Time run_until(Time deadline);
+
+  /// Number of detached roots that have not finished yet.
+  std::size_t live_roots() const { return roots_.size(); }
+  /// Total events processed (for the engine microbenchmarks).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Awaitable: suspend the current coroutine for `d` of virtual time.
+  auto delay(Time d) {
+    struct Awaiter {
+      Engine& engine;
+      Time d;
+      bool await_ready() const { return false; }
+      void await_suspend(std::coroutine_handle<> h) { engine.schedule_in(d, h); }
+      void await_resume() const {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable: suspend until absolute virtual time `t` (>= now()).
+  auto sleep_until(Time t) {
+    struct Awaiter {
+      Engine& engine;
+      Time t;
+      bool await_ready() const { return t <= engine.now(); }
+      void await_suspend(std::coroutine_handle<> h) { engine.schedule_at(t, h); }
+      void await_resume() const {}
+    };
+    return Awaiter{*this, t};
+  }
+
+ private:
+  friend void detail::notify_root_done(Engine&, std::uint64_t) noexcept;
+
+  struct Item {
+    Time t = 0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> handle;      // exactly one of handle/fn is set
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Item& item);
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_root_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace cord::sim

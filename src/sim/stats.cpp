@@ -1,0 +1,20 @@
+#include "sim/stats.hpp"
+
+namespace cord::sim {
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (p <= 0.0) return values_.front();
+  if (p >= 100.0) return values_.back();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+}  // namespace cord::sim

@@ -1,0 +1,99 @@
+// Measurement collection: online summary statistics, sample percentiles,
+// and time-windowed throughput counters used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace cord::sim {
+
+/// Online mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores raw samples; percentiles computed on demand.
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    summary_.add(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  void clear() {
+    values_.clear();
+    summary_ = {};
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+  const OnlineStats& summary() const { return summary_; }
+  double mean() const { return summary_.mean(); }
+  double stddev() const { return summary_.stddev(); }
+  double min() const { return summary_.min(); }
+  double max() const { return summary_.max(); }
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  OnlineStats summary_;
+};
+
+/// Counts units (bytes, messages) over a virtual-time window.
+class ThroughputCounter {
+ public:
+  void start(Time now) {
+    start_time_ = now;
+    units_ = 0;
+  }
+  void add(std::uint64_t units) { units_ += units; }
+  std::uint64_t units() const { return units_; }
+
+  double per_second(Time now) const {
+    const Time elapsed = now - start_time_;
+    if (elapsed <= 0) return 0.0;
+    return static_cast<double>(units_) / to_sec(elapsed);
+  }
+  /// Convenience for byte counters.
+  double gbit_per_sec(Time now) const { return per_second(now) * 8.0 / 1e9; }
+
+ private:
+  Time start_time_ = 0;
+  std::uint64_t units_ = 0;
+};
+
+}  // namespace cord::sim

@@ -1,0 +1,185 @@
+// Task<T>: lazy coroutine type used for every simulated activity.
+//
+// A Task does not run until it is awaited (structured, stack-like
+// composition) or handed to Engine::spawn (detached root process).
+// Completion uses symmetric transfer back to the awaiting parent, so deep
+// call chains cost no native stack.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace cord::sim {
+
+class Engine;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  /// Set for detached roots spawned into an Engine.
+  Engine* owner_engine = nullptr;
+  std::uint64_t root_id = 0;
+  std::exception_ptr exception;
+};
+
+void notify_root_done(Engine& engine, std::uint64_t root_id) noexcept;
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+    PromiseBase& p = h.promise();
+    if (p.continuation) return p.continuation;
+    if (p.owner_engine != nullptr) {
+      // Detached root: unregister and self-destroy. Unhandled exceptions in
+      // detached tasks are fatal — there is nobody to rethrow to.
+      if (p.exception) std::terminate();
+      Engine& e = *p.owner_engine;
+      std::uint64_t id = p.root_id;
+      h.destroy();
+      notify_root_done(e, id);
+      return std::noop_coroutine();
+    }
+    return std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    detail::FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a Task starts it; the awaiter is resumed when it completes.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+        assert(h.promise().value.has_value());
+        return std::move(*h.promise().value);
+      }
+    };
+    assert(handle_ && "awaiting an empty Task");
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Engine;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, nullptr);
+  }
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    detail::FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    assert(handle_ && "awaiting an empty Task");
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Engine;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, nullptr);
+  }
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace cord::sim

@@ -1,0 +1,42 @@
+#include "sim/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace cord::sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  const double abs_t = std::abs(static_cast<double>(t));
+  if (abs_t >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", to_sec(t));
+  } else if (abs_t >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", to_ms(t));
+  } else if (abs_t >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", to_us(t));
+  } else if (abs_t >= kNanosecond) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", to_ns(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ps", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  constexpr std::array<const char*, 4> units{"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+}  // namespace cord::sim

@@ -1,0 +1,97 @@
+// The ibverbs-like public API — the "narrow waist" the paper interposes.
+//
+// A Context binds a process (a simulated core of a host, with a tenant id)
+// to the RDMA stack in one of two dataplane modes:
+//
+//   kBypass — classical RDMA: post_send/post_recv/poll_cq run entirely in
+//             user space and talk to the NIC through MMIO doorbells.
+//   kCord   — the paper's converged dataplane: every data-plane verb is a
+//             system call; the kernel runs its policy chain and then the
+//             kernel-level driver performs the exact same NIC interaction.
+//
+// Control-plane verbs (object creation, connection) go through the kernel
+// ioctl path in both modes, as in real RDMA.
+//
+// All verbs return Tasks because they consume simulated CPU time on the
+// calling core.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "nic/nic.hpp"
+#include "os/kernel.hpp"
+
+namespace cord::verbs {
+
+enum class DataplaneMode { kBypass, kCord };
+
+struct ContextOptions {
+  DataplaneMode mode = DataplaneMode::kBypass;
+  /// CoRD only: route ibv_poll_cq through the kernel as well ("each
+  /// data-plane operation goes through the kernel", §4). When false, the
+  /// CQ is polled from user space (it lives in user-mapped memory) and
+  /// only the posting verbs cross into the kernel.
+  bool poll_via_kernel = true;
+  /// CoRD only: whether the kernel data path supports inline sends. The
+  /// paper's prototype lacks them on system A, which is what produces the
+  /// bimodal small-message overhead of Fig. 5a.
+  bool cord_inline_support = true;
+  os::TenantId tenant = 0;
+};
+
+/// Error returned by wait_* helpers when nothing completes within the
+/// virtual-time timeout (indicates a deadlocked workload).
+inline constexpr int kErrTimedOut = -110;  // ETIMEDOUT
+
+class Context {
+ public:
+  Context(os::Host& host, std::size_t core_idx, ContextOptions opts = {})
+      : host_(&host), core_(&host.core(core_idx)), opts_(opts) {}
+
+  os::Host& host() { return *host_; }
+  os::Core& core() { return *core_; }
+  const ContextOptions& options() const { return opts_; }
+  DataplaneMode mode() const { return opts_.mode; }
+  nic::NodeId node() const { return host_->node(); }
+
+  // --- Control plane ----------------------------------------------------
+  sim::Task<nic::ProtectionDomainId> alloc_pd();
+  sim::Task<const nic::MemoryRegion*> reg_mr(nic::ProtectionDomainId pd,
+                                             void* addr, std::size_t len,
+                                             std::uint32_t access);
+  sim::Task<bool> dereg_mr(std::uint32_t lkey);
+  sim::Task<nic::CompletionQueue*> create_cq(std::uint32_t capacity);
+  sim::Task<nic::QueuePair*> create_qp(const nic::QpConfig& cfg);
+  sim::Task<nic::SharedReceiveQueue*> create_srq(nic::ProtectionDomainId pd,
+                                                 std::uint32_t capacity);
+  /// RESET -> INIT -> RTR -> RTS in one call (the usual connection dance).
+  sim::Task<int> connect_qp(nic::QueuePair& qp, nic::AddressHandle dest = {});
+  sim::Task<> destroy_qp(nic::QueuePair& qp);
+
+  // --- Data plane ---------------------------------------------------------
+  sim::Task<int> post_send(nic::QueuePair& qp, nic::SendWr wr);
+  sim::Task<int> post_recv(nic::QueuePair& qp, nic::RecvWr wr);
+  sim::Task<int> post_srq_recv(nic::SharedReceiveQueue& srq, nic::RecvWr wr);
+  sim::Task<std::size_t> poll_cq(nic::CompletionQueue& cq, std::span<nic::Cqe> out);
+
+  /// Busy-poll until one completion arrives (charges spin time — this is
+  /// the polling pillar). Fails with kErrTimedOut after `timeout`.
+  sim::Task<nic::Cqe> wait_one(nic::CompletionQueue& cq,
+                               sim::Time timeout = sim::sec(30));
+  /// Interrupt-driven completion wait (the "polling removed" path):
+  /// arm the CQ, sleep, get woken by the IRQ, then harvest.
+  sim::Task<nic::Cqe> wait_one_event(nic::CompletionQueue& cq,
+                                     sim::Time timeout = sim::sec(30));
+
+  /// Number of data-plane verbs issued through this context.
+  std::uint64_t dataplane_ops() const { return dataplane_ops_; }
+
+ private:
+  os::Host* host_;
+  os::Core* core_;
+  ContextOptions opts_;
+  std::uint64_t dataplane_ops_ = 0;
+};
+
+}  // namespace cord::verbs

@@ -1,0 +1,194 @@
+// RDMA atomics: fetch-and-add and compare-and-swap — one-sided
+// read-modify-write on remote memory, serialized at the responder NIC.
+// Verbs systems build distributed counters, locks and sequencers on these.
+#include <gtest/gtest.h>
+
+#include "sim/join.hpp"
+#include "test_util.hpp"
+
+namespace cord::nic {
+namespace {
+
+using cord::testing::RcEndpoints;
+using cord::testing::TwoHostFixture;
+using cord::testing::run_task;
+using cord::testing::uptr;
+
+struct AtomicFixture : TwoHostFixture {
+  /// 8-byte counter on host1, atomically accessible; result buffer on host0.
+  alignas(8) std::uint64_t counter = 0;
+  alignas(8) std::uint64_t result = 0;
+};
+
+sim::Task<Cqe> do_atomic(verbs::Context& ctx, QueuePair& qp,
+                         CompletionQueue& scq, Opcode op, std::uint64_t* local,
+                         std::uint32_t lkey, std::uint64_t* remote,
+                         std::uint32_t rkey, std::uint64_t compare_add,
+                         std::uint64_t swap = 0) {
+  SendWr wr;
+  wr.opcode = op;
+  wr.sge = {uptr(local), 8, lkey};
+  wr.remote_addr = uptr(remote);
+  wr.rkey = rkey;
+  wr.compare_add = compare_add;
+  wr.swap = swap;
+  const int rc = co_await ctx.post_send(qp, std::move(wr));
+  if (rc != 0) throw std::runtime_error("atomic post failed");
+  co_return co_await ctx.wait_one(scq);
+}
+
+TEST(Atomics, FetchAddReturnsOldValueAndAdds) {
+  AtomicFixture f;
+  f.counter = 100;
+  run_task(f.engine, [](AtomicFixture& f) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    auto* lmr = co_await a.reg_mr(e.pd0, &f.result, 8, kAccessLocalWrite);
+    auto* rmr = co_await b.reg_mr(e.pd1, &f.counter, 8,
+                                  kAccessLocalWrite | kAccessRemoteAtomic);
+    Cqe wc = co_await do_atomic(a, *e.qp0, *e.scq0, Opcode::kFetchAdd,
+                                &f.result, lmr->lkey, &f.counter, rmr->rkey, 7);
+    if (wc.status != WcStatus::kSuccess) throw std::runtime_error("bad status");
+    if (wc.opcode != WcOpcode::kFetchAdd) throw std::runtime_error("bad opcode");
+  }(f));
+  EXPECT_EQ(f.result, 100u) << "fetch-add returns the prior value";
+  EXPECT_EQ(f.counter, 107u);
+}
+
+TEST(Atomics, CompareSwapSucceedsOnMatch) {
+  AtomicFixture f;
+  f.counter = 42;
+  run_task(f.engine, [](AtomicFixture& f) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    auto* lmr = co_await a.reg_mr(e.pd0, &f.result, 8, kAccessLocalWrite);
+    auto* rmr = co_await b.reg_mr(e.pd1, &f.counter, 8,
+                                  kAccessLocalWrite | kAccessRemoteAtomic);
+    (void)co_await do_atomic(a, *e.qp0, *e.scq0, Opcode::kCompareSwap,
+                             &f.result, lmr->lkey, &f.counter, rmr->rkey,
+                             /*expect=*/42, /*swap=*/999);
+  }(f));
+  EXPECT_EQ(f.result, 42u);
+  EXPECT_EQ(f.counter, 999u);
+}
+
+TEST(Atomics, CompareSwapFailsOnMismatchWithoutWriting) {
+  AtomicFixture f;
+  f.counter = 42;
+  run_task(f.engine, [](AtomicFixture& f) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    auto* lmr = co_await a.reg_mr(e.pd0, &f.result, 8, kAccessLocalWrite);
+    auto* rmr = co_await b.reg_mr(e.pd1, &f.counter, 8,
+                                  kAccessLocalWrite | kAccessRemoteAtomic);
+    (void)co_await do_atomic(a, *e.qp0, *e.scq0, Opcode::kCompareSwap,
+                             &f.result, lmr->lkey, &f.counter, rmr->rkey,
+                             /*expect=*/41, /*swap=*/999);
+  }(f));
+  EXPECT_EQ(f.result, 42u) << "the old value still comes back";
+  EXPECT_EQ(f.counter, 42u) << "a failed CAS must not write";
+}
+
+TEST(Atomics, ConcurrentFetchAddsFromTwoClientsAreAtomic) {
+  AtomicFixture f;
+  run_task(f.engine, [](AtomicFixture& f) -> sim::Task<> {
+    verbs::Context b(*f.host1, 0, {});
+    auto pd_b = co_await b.alloc_pd();
+    auto* rmr = co_await b.reg_mr(pd_b, &f.counter, 8,
+                                  kAccessLocalWrite | kAccessRemoteAtomic);
+    auto client = [](TwoHostFixture& f, verbs::Context& b,
+                     nic::ProtectionDomainId pd_b, std::uint32_t rkey,
+                     std::uint64_t* counter, int core,
+                     std::uint64_t addend) -> sim::Task<> {
+      verbs::Context a(*f.host0, static_cast<std::size_t>(core), {});
+      auto pd_a = co_await a.alloc_pd();
+      auto* scq = co_await a.create_cq(64);
+      auto* rcq = co_await a.create_cq(64);
+      auto* qa = co_await a.create_qp({QpType::kRC, pd_a, scq, rcq, 64, 64, 0});
+      auto* scq_b = co_await b.create_cq(64);
+      auto* qb = co_await b.create_qp({QpType::kRC, pd_b, scq_b, scq_b, 64, 64, 0});
+      co_await a.connect_qp(*qa, {1, qb->qpn()});
+      co_await b.connect_qp(*qb, {0, qa->qpn()});
+      alignas(8) std::uint64_t local = 0;
+      auto* lmr = co_await a.reg_mr(pd_a, &local, 8, kAccessLocalWrite);
+      for (int i = 0; i < 50; ++i) {
+        (void)co_await do_atomic(a, *qa, *scq, Opcode::kFetchAdd, &local,
+                                 lmr->lkey, counter, rkey, addend);
+      }
+    };
+    sim::Joinable c1(f.engine, client(f, b, pd_b, rmr->rkey, &f.counter, 0, 1));
+    sim::Joinable c2(f.engine, client(f, b, pd_b, rmr->rkey, &f.counter, 1, 1000));
+    co_await c1.join();
+    co_await c2.join();
+  }(f));
+  EXPECT_EQ(f.counter, 50u + 50u * 1000u)
+      << "interleaved fetch-adds must not lose updates";
+}
+
+TEST(Atomics, RequiresRemoteAtomicPermission) {
+  AtomicFixture f;
+  run_task(f.engine, [](AtomicFixture& f) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    auto* lmr = co_await a.reg_mr(e.pd0, &f.result, 8, kAccessLocalWrite);
+    // Only REMOTE_WRITE granted — atomics must be NAKed.
+    auto* rmr = co_await b.reg_mr(e.pd1, &f.counter, 8,
+                                  kAccessLocalWrite | kAccessRemoteWrite);
+    Cqe wc = co_await do_atomic(a, *e.qp0, *e.scq0, Opcode::kFetchAdd,
+                                &f.result, lmr->lkey, &f.counter, rmr->rkey, 1);
+    if (wc.status != WcStatus::kRemoteAccessError) {
+      throw std::runtime_error("expected remote access error");
+    }
+  }(f));
+  EXPECT_EQ(f.counter, 0u);
+}
+
+TEST(Atomics, PostValidation) {
+  TwoHostFixture f;
+  bool checked = false;
+  run_task(f.engine, [](TwoHostFixture& f, bool& checked) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    alignas(8) std::uint64_t local = 0;
+    auto* lmr = co_await a.reg_mr(e.pd0, &local, 8, kAccessLocalWrite);
+    SendWr wr;
+    wr.opcode = Opcode::kFetchAdd;
+    wr.sge = {uptr(&local), 4, lmr->lkey};  // wrong length
+    wr.remote_addr = 8;                      // aligned dummy
+    if (co_await a.post_send(*e.qp0, SendWr(wr)) != kErrInvalid) {
+      throw std::runtime_error("length 4 must be rejected");
+    }
+    wr.sge.length = 8;
+    wr.remote_addr = 12;  // misaligned
+    if (co_await a.post_send(*e.qp0, SendWr(wr)) != kErrInvalid) {
+      throw std::runtime_error("misaligned target must be rejected");
+    }
+    checked = true;
+  }(f, checked));
+  EXPECT_TRUE(checked);
+}
+
+TEST(Atomics, RejectedOnUd) {
+  TwoHostFixture f;
+  auto pd = f.host0->nic().alloc_pd();
+  auto* cq = f.host0->nic().create_cq(16);
+  auto* qp = f.host0->nic().create_qp({QpType::kUD, pd, cq, cq, 16, 16, 0});
+  ASSERT_EQ(f.host0->nic().modify_qp(*qp, QpState::kInit), kOk);
+  ASSERT_EQ(f.host0->nic().modify_qp(*qp, QpState::kRtr), kOk);
+  ASSERT_EQ(f.host0->nic().modify_qp(*qp, QpState::kRts), kOk);
+  alignas(8) std::uint64_t local = 0;
+  SendWr wr;
+  wr.opcode = Opcode::kFetchAdd;
+  wr.sge = {uptr(&local), 8, 0};
+  wr.remote_addr = 8;
+  wr.ud = {1, 1};
+  EXPECT_EQ(f.host0->nic().post_send(*qp, std::move(wr)), kErrInvalid);
+}
+
+}  // namespace
+}  // namespace cord::nic

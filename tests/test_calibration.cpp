@@ -1,0 +1,94 @@
+// Calibration tests: the DESIGN.md §5 checkpoints that tie the simulator
+// to the paper's published numbers. If one of these fails, the figure
+// benches will drift from the paper's shape.
+#include <gtest/gtest.h>
+
+#include "perftest/perftest.hpp"
+
+namespace cord {
+namespace {
+
+using namespace cord::perftest;
+
+TEST(Calibration, MemcpyBandwidthIs140UsPerMiB) {
+  // Paper §2: removing zero-copy adds "up to 140 us/MiB".
+  sim::Engine e;
+  os::Core core(e, core::system_l().cpu, 1);
+  EXPECT_NEAR(sim::to_us(core.memcpy_time(1 << 20)), 140.0, 2.0);
+}
+
+TEST(Calibration, SyscallCrossingSystemL) {
+  sim::Engine e;
+  os::Core core(e, core::system_l().cpu, 1);
+  EXPECT_EQ(core.syscall_cost(), sim::ns(180));
+  auto kpti_model = core::system_l().cpu;
+  kpti_model.kpti = true;
+  os::Core kcore(e, kpti_model, 1);
+  EXPECT_EQ(kcore.syscall_cost(), sim::ns(540));
+}
+
+TEST(Calibration, WireRates) {
+  EXPECT_NEAR(core::system_l().wire_bandwidth.gbps(), 100.0, 1e-9);
+  EXPECT_NEAR(core::system_a().wire_bandwidth.gbps(), 200.0, 1e-9);
+}
+
+TEST(Calibration, SystemLSmallSendLatencyCx6Class) {
+  Params p;
+  p.msg_size = 8;
+  p.iterations = 100;
+  const double us = run_latency(core::system_l(), p).avg_us;
+  EXPECT_GT(us, 0.9);
+  EXPECT_LT(us, 2.0);
+}
+
+TEST(Calibration, Paper32KiBCheckpoint) {
+  // Paper §5: "for 32 KiB messages exchanged using send operations,
+  // perftest measured ~370k messages per second and only 1% bandwidth
+  // degradation" under CoRD.
+  Params p;
+  p.msg_size = 32768;
+  p.iterations = 400;
+  const auto bp = run_bandwidth(core::system_l(), p);
+  EXPECT_NEAR(bp.mmsg_per_sec, 0.37, 0.05);
+  Params cd = p;
+  cd.client = verbs::ContextOptions{.mode = verbs::DataplaneMode::kCord};
+  cd.server = cd.client;
+  const auto cord = run_bandwidth(core::system_l(), cd);
+  EXPECT_GT(cord.gbps / bp.gbps, 0.97) << "degradation must be ~1%";
+}
+
+TEST(Calibration, SmallMessageBaselineIsTinyFractionOfWire) {
+  // Paper §2: "even the baseline variant achieves only 1.4 Gbit/s out of
+  // the theoretical maximum of 100 Gbit/s" for small messages.
+  Params p;
+  p.msg_size = 16;
+  p.iterations = 1500;
+  const auto r = run_bandwidth(core::system_l(), p);
+  EXPECT_LT(r.gbps, 5.0);
+  EXPECT_GT(r.gbps, 0.2);
+}
+
+TEST(Calibration, SystemAInlineThreshold) {
+  // Fig. 5a's bimodal split sits at ~1 KiB, so system A's device inline
+  // must be 1 KiB while the CoRD prototype there lacks inline entirely.
+  const auto a = core::system_a();
+  EXPECT_EQ(a.nic.max_inline, 1024u);
+  EXPECT_FALSE(a.cord_inline_support);
+  const auto l = core::system_l();
+  EXPECT_TRUE(l.cord_inline_support);
+}
+
+TEST(Calibration, SystemATurboCannotBeDisabled) {
+  // "not being able to disable dynamic frequency scaling due to the
+  // cloud provider policy".
+  EXPECT_TRUE(core::system_a().cpu.turbo_enabled);
+  EXPECT_FALSE(core::system_l().cpu.turbo_enabled);  // paper disables it
+}
+
+TEST(Calibration, KptiDisabledOnBothSystems) {
+  EXPECT_FALSE(core::system_l().cpu.kpti);
+  EXPECT_FALSE(core::system_a().cpu.kpti);
+}
+
+}  // namespace
+}  // namespace cord

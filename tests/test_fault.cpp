@@ -1,0 +1,202 @@
+// Failure-injection tests: what happens when things go wrong mid-flight —
+// revocation under load, policy denial storms, CQ overflow pressure,
+// QP destruction with work outstanding, kernel-event waits racing
+// completions, and pacing under an aggressive QoS policy.
+#include <gtest/gtest.h>
+
+#include "os/policies.hpp"
+#include "sim/join.hpp"
+#include "test_util.hpp"
+
+namespace cord {
+namespace {
+
+using cord::testing::RcEndpoints;
+using cord::testing::TwoHostFixture;
+using cord::testing::run_task;
+using cord::testing::uptr;
+
+TEST(Fault, RevocationUnderLoadFlushesOutstandingWork) {
+  TwoHostFixture f;
+  int flushed = 0, succeeded = 0;
+  run_task(f.engine, [](TwoHostFixture& f, int& flushed, int& succeeded)
+                         -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    std::vector<std::byte> src(1 << 20), dst(1 << 20);
+    auto* smr = co_await a.reg_mr(e.pd0, src.data(), src.size(), 0);
+    auto* rmr = co_await b.reg_mr(
+        e.pd1, dst.data(), dst.size(),
+        nic::kAccessLocalWrite | nic::kAccessRemoteWrite);
+    // Queue a burst of large writes, then the OS kills the QP while they
+    // are in flight.
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      (void)co_await a.post_send(
+          *e.qp0, {.wr_id = i,
+                   .opcode = nic::Opcode::kRdmaWrite,
+                   .sge = {uptr(src.data()), 1u << 20, smr->lkey},
+                   .remote_addr = uptr(dst.data()),
+                   .rkey = rmr->rkey});
+    }
+    f.host0->kernel().revoke_qp(*e.qp0);
+    for (int i = 0; i < 16; ++i) {
+      nic::Cqe wc = co_await a.wait_one(*e.scq0);
+      if (wc.status == nic::WcStatus::kWorkRequestFlushed) {
+        ++flushed;
+      } else if (wc.status == nic::WcStatus::kSuccess) {
+        ++succeeded;
+      }
+    }
+  }(f, flushed, succeeded));
+  EXPECT_EQ(flushed + succeeded, 16);
+  EXPECT_GT(flushed, 0) << "queued WRs behind the revocation must flush";
+}
+
+TEST(Fault, PolicingDenialStormDoesNotWedgeTheStack) {
+  TwoHostFixture f;
+  // 0-rate policing bucket: every send is denied with EAGAIN.
+  auto qos = std::make_unique<os::QosTokenBucket>(
+      1.0, 1, os::QosTokenBucket::Mode::kPolice);
+  f.host0->kernel().policies().install(std::move(qos));
+  int denied = 0, delivered = 0;
+  run_task(f.engine, [](TwoHostFixture& f, int& denied, int& delivered)
+                         -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {.mode = verbs::DataplaneMode::kCord});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    std::vector<std::byte> src(256), dst(256);
+    auto* smr = co_await a.reg_mr(e.pd0, src.data(), 256, 0);
+    auto* rmr = co_await b.reg_mr(e.pd1, dst.data(), 256, nic::kAccessLocalWrite);
+    (void)co_await b.post_recv(*e.qp1, {1, {uptr(dst.data()), 256, rmr->lkey}});
+    for (int i = 0; i < 50; ++i) {
+      const int rc = co_await a.post_send(
+          *e.qp0, {.sge = {uptr(src.data()), 256, smr->lkey}});
+      if (rc == -11) {
+        ++denied;
+      } else if (rc == 0) {
+        ++delivered;
+      }
+      co_await f.engine.delay(sim::us(1));
+    }
+    // The QP must still be healthy: remove the policy and send for real.
+    f.host0->kernel().policies().remove("qos-token-bucket");
+    int rc = co_await a.post_send(
+        *e.qp0, {.sge = {uptr(src.data()), 256, smr->lkey}});
+    if (rc != 0) throw std::runtime_error("post after policy removal failed");
+    (void)co_await b.wait_one(*e.rcq1);
+    ++delivered;
+  }(f, denied, delivered));
+  EXPECT_GT(denied, 40);
+  EXPECT_GE(delivered, 1);
+}
+
+TEST(Fault, CqOverflowLatchesUnderCompletionStorm) {
+  TwoHostFixture f;
+  run_task(f.engine, [](TwoHostFixture& f) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    auto pd_a = co_await a.alloc_pd();
+    auto pd_b = co_await b.alloc_pd();
+    auto* tiny_scq = co_await a.create_cq(4);  // absurdly small
+    auto* rcq_a = co_await a.create_cq(64);
+    auto* scq_b = co_await b.create_cq(64);
+    auto* rcq_b = co_await b.create_cq(512);
+    auto* qp_a = co_await a.create_qp(
+        {nic::QpType::kRC, pd_a, tiny_scq, rcq_a, 64, 64, 220});
+    auto* qp_b = co_await b.create_qp(
+        {nic::QpType::kRC, pd_b, scq_b, rcq_b, 64, 512, 220});
+    co_await a.connect_qp(*qp_a, {b.node(), qp_b->qpn()});
+    co_await b.connect_qp(*qp_b, {a.node(), qp_a->qpn()});
+    std::vector<std::byte> src(8), dst(64);
+    auto* rmr = co_await b.reg_mr(pd_b, dst.data(), 64, nic::kAccessLocalWrite);
+    for (int i = 0; i < 16; ++i) {
+      (void)co_await b.post_recv(*qp_b, {1, {uptr(dst.data()), 64, rmr->lkey}});
+    }
+    // Fire 16 signaled sends without ever polling the tiny send CQ.
+    for (int i = 0; i < 16; ++i) {
+      (void)co_await a.post_send(
+          *qp_a, {.sge = {uptr(src.data()), 8, 0}, .inline_data = true});
+    }
+    co_await f.engine.delay(sim::ms(1));
+    if (!tiny_scq->overflowed()) throw std::runtime_error("expected overflow");
+  }(f));
+}
+
+TEST(Fault, DestroyQpWithWorkInFlightIsSafe) {
+  TwoHostFixture f;
+  run_task(f.engine, [](TwoHostFixture& f) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    std::vector<std::byte> src(1 << 20), dst(1 << 20);
+    auto* smr = co_await a.reg_mr(e.pd0, src.data(), src.size(), 0);
+    auto* rmr = co_await b.reg_mr(
+        e.pd1, dst.data(), dst.size(),
+        nic::kAccessLocalWrite | nic::kAccessRemoteWrite);
+    (void)co_await a.post_send(
+        *e.qp0, {.opcode = nic::Opcode::kRdmaWrite,
+                 .sge = {uptr(src.data()), 1u << 20, smr->lkey},
+                 .remote_addr = uptr(dst.data()),
+                 .rkey = rmr->rkey});
+    // Destroy the QP while the transfer is mid-flight; the simulation
+    // must neither crash nor deliver a completion to freed state.
+    co_await a.destroy_qp(*e.qp0);
+    co_await f.engine.delay(sim::ms(2));
+  }(f));
+}
+
+TEST(Fault, EventWaitRacingCompletionDoesNotSleepForever) {
+  TwoHostFixture f;
+  run_task(f.engine, [](TwoHostFixture& f) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    std::vector<std::byte> src(8), dst(64);
+    auto* rmr = co_await b.reg_mr(e.pd1, dst.data(), 64, nic::kAccessLocalWrite);
+    (void)co_await b.post_recv(*e.qp1, {1, {uptr(dst.data()), 64, rmr->lkey}});
+    (void)co_await a.post_send(
+        *e.qp0, {.sge = {uptr(src.data()), 8, 0}, .inline_data = true});
+    // Let the completion land *before* the event wait starts: the
+    // arm-then-recheck dance must notice it and return immediately.
+    co_await f.engine.delay(sim::ms(1));
+    nic::Cqe wc = co_await b.wait_one_event(*e.rcq1, sim::ms(5));
+    if (wc.status != nic::WcStatus::kSuccess) throw std::runtime_error("bad wc");
+  }(f));
+}
+
+TEST(Fault, ShapingPolicyPacesButDeliversEverything) {
+  TwoHostFixture f;
+  auto qos = std::make_unique<os::QosTokenBucket>(
+      /*1 GB/s*/ 1e9, /*burst*/ 64 * 1024, os::QosTokenBucket::Mode::kShape);
+  f.host0->kernel().policies().install(std::move(qos));
+  sim::Time elapsed = 0;
+  run_task(f.engine, [](TwoHostFixture& f, sim::Time& elapsed) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {.mode = verbs::DataplaneMode::kCord});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    constexpr std::size_t kChunk = 64 * 1024;
+    std::vector<std::byte> src(kChunk), dst(kChunk);
+    auto* smr = co_await a.reg_mr(e.pd0, src.data(), kChunk, 0);
+    auto* rmr = co_await b.reg_mr(
+        e.pd1, dst.data(), kChunk,
+        nic::kAccessLocalWrite | nic::kAccessRemoteWrite);
+    const sim::Time t0 = f.engine.now();
+    for (int i = 0; i < 64; ++i) {  // 4 MiB at 1 GB/s -> >= 4 ms
+      int rc = co_await a.post_send(
+          *e.qp0, {.opcode = nic::Opcode::kRdmaWrite,
+                   .sge = {uptr(src.data()), kChunk, smr->lkey},
+                   .remote_addr = uptr(dst.data()),
+                   .rkey = rmr->rkey});
+      if (rc != 0) throw std::runtime_error("shaped post failed");
+      (void)co_await a.wait_one(*e.scq0);
+    }
+    elapsed = f.engine.now() - t0;
+  }(f, elapsed));
+  // 4 MiB minus the 64 KiB burst at 1 GB/s: >= ~4.1 ms (wire alone would
+  // take ~0.34 ms).
+  EXPECT_GT(sim::to_ms(elapsed), 3.5);
+}
+
+}  // namespace
+}  // namespace cord

@@ -1,0 +1,304 @@
+// Unit tests for the OS layer: CPU/DVFS model, syscall cost model,
+// the policy framework and the concrete CoRD policies, kernel control
+// plane, the CoRD data-plane syscalls, and interrupt-driven completions.
+#include <gtest/gtest.h>
+
+#include "os/policies.hpp"
+#include "test_util.hpp"
+
+namespace cord::os {
+namespace {
+
+using cord::testing::RcEndpoints;
+using cord::testing::TwoHostFixture;
+using cord::testing::run_task;
+using cord::testing::uptr;
+
+TEST(CpuModel, MemcpyMatchesPaperCalibration) {
+  sim::Engine e;
+  Core core(e, CpuModel{}, 1);
+  // The paper: removing zero-copy adds up to 140 us/MiB.
+  const sim::Time t = core.memcpy_time(1 << 20);
+  EXPECT_NEAR(sim::to_us(t), 140.0, 1.0);
+}
+
+TEST(CpuModel, SyscallCostRespectsKptiAndVirtualization) {
+  sim::Engine e;
+  Core plain(e, CpuModel{}, 1);
+  CpuModel kpti_model;
+  kpti_model.kpti = true;
+  Core kpti(e, kpti_model, 1);
+  CpuModel virt_model;
+  virt_model.virt_overhead = 0.6;
+  Core virt(e, virt_model, 1);
+  const sim::Time base = plain.syscall_cost();
+  EXPECT_EQ(base, sim::ns(180));
+  EXPECT_EQ(kpti.syscall_cost(), 3 * base);
+  EXPECT_NEAR(static_cast<double>(virt.syscall_cost()),
+              1.6 * static_cast<double>(base), 1.0);
+}
+
+TEST(CpuModel, SyscallJitterIsDeterministicPerSeed) {
+  sim::Engine e;
+  CpuModel m;
+  m.syscall_jitter = 0.3;
+  Core a(e, m, 42), b(e, m, 42), c(e, m, 43);
+  EXPECT_EQ(a.syscall_cost(), b.syscall_cost());
+  // Different seeds should (overwhelmingly) differ.
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) any_diff |= (a.syscall_cost() != c.syscall_cost());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Dvfs, SpinLoadDegradesFrequencyAndRecovers) {
+  sim::Engine e;
+  CpuModel m;
+  m.turbo_enabled = true;
+  Core core(e, m, 1);
+  EXPECT_DOUBLE_EQ(core.frequency_ghz(), m.turbo_ghz) << "idle core boosts";
+  // Spin hard for several DVFS windows.
+  core.charge(sim::us(500), Work::kSpin);
+  EXPECT_NEAR(core.frequency_ghz(), m.base_ghz, 0.01)
+      << "sustained spinning drops to base clock";
+  // Compute/kernel time cools it back down.
+  core.charge(sim::us(500), Work::kCompute);
+  EXPECT_NEAR(core.frequency_ghz(), m.turbo_ghz, 0.01);
+}
+
+TEST(Dvfs, DisabledTurboPinsBaseClock) {
+  sim::Engine e;
+  Core core(e, CpuModel{}, 1);  // turbo_enabled = false
+  EXPECT_DOUBLE_EQ(core.frequency_ghz(), 3.3);
+  core.charge(sim::us(500), Work::kSpin);
+  EXPECT_DOUBLE_EQ(core.frequency_ghz(), 3.3);
+}
+
+TEST(Dvfs, WorkAccountingPerKind) {
+  sim::Engine e;
+  Core core(e, CpuModel{}, 1);
+  run_task(e, [](Core& c) -> sim::Task<> {
+    co_await c.work(sim::us(3), Work::kCompute);
+    co_await c.work(sim::us(2), Work::kSpin);
+    co_await c.work(sim::us(1), Work::kKernel);
+  }(core));
+  EXPECT_EQ(core.time_compute(), sim::us(3));
+  EXPECT_EQ(core.time_spin(), sim::us(2));
+  EXPECT_EQ(core.time_kernel(), sim::us(1));
+  EXPECT_EQ(e.now(), sim::us(6));
+}
+
+TEST(PolicyChain, CostsAccumulateAndDenialShortCircuits) {
+  struct Fixed final : Policy {
+    bool allow;
+    explicit Fixed(bool a) : allow(a) {}
+    std::string_view name() const override { return "fixed"; }
+    PolicyVerdict on_op(const DataplaneOp&, sim::Time) override {
+      ++calls;
+      return {.allow = allow, .error = -1, .cpu_cost = sim::ns(10)};
+    }
+    int calls = 0;
+  };
+  PolicyChain chain;
+  auto& p1 = static_cast<Fixed&>(chain.install(std::make_unique<Fixed>(true)));
+  auto& p2 = static_cast<Fixed&>(chain.install(std::make_unique<Fixed>(false)));
+  auto& p3 = static_cast<Fixed&>(chain.install(std::make_unique<Fixed>(true)));
+  PolicyVerdict v = chain.evaluate(DataplaneOp{}, 0);
+  EXPECT_FALSE(v.allow);
+  EXPECT_EQ(v.cpu_cost, sim::ns(20)) << "only evaluated policies bill cost";
+  EXPECT_EQ(p1.calls, 1);
+  EXPECT_EQ(p2.calls, 1);
+  EXPECT_EQ(p3.calls, 0) << "denial short-circuits";
+  EXPECT_TRUE(chain.remove("fixed"));
+  EXPECT_EQ(chain.size(), 2u);
+}
+
+TEST(QosTokenBucket, ShapingDelaysOverRateTraffic) {
+  QosTokenBucket qos(/*bytes_per_sec=*/1e9, /*burst=*/4096, QosTokenBucket::Mode::kShape);
+  DataplaneOp op{DataplaneOp::Kind::kPostSend, 1, 0, nic::Opcode::kSend, 4096, 1};
+  // First op drains the burst; tokens start empty so expect initial pacing
+  // then steady-state delay of size/rate.
+  PolicyVerdict v1 = qos.on_op(op, sim::ms(1));  // 1 ms of refill at 1 GB/s = 1 MB >> burst
+  EXPECT_TRUE(v1.allow);
+  EXPECT_EQ(v1.pace_delay, 0) << "burst credit covers the first message";
+  PolicyVerdict v2 = qos.on_op(op, sim::ms(1));
+  EXPECT_TRUE(v2.allow);
+  // 4096 B at 1 GB/s = 4096 ns of pacing debt.
+  EXPECT_NEAR(sim::to_ns(v2.pace_delay), 4096.0, 1.0);
+}
+
+TEST(QosTokenBucket, PolicingDeniesWithEagain) {
+  QosTokenBucket qos(1e9, 4096, QosTokenBucket::Mode::kPolice);
+  DataplaneOp op{DataplaneOp::Kind::kPostSend, 1, 0, nic::Opcode::kSend, 4096, 1};
+  EXPECT_TRUE(qos.on_op(op, sim::ms(1)).allow);
+  PolicyVerdict v = qos.on_op(op, sim::ms(1));
+  EXPECT_FALSE(v.allow);
+  EXPECT_EQ(v.error, -11);
+}
+
+TEST(QosTokenBucket, PerTenantRateOverride) {
+  QosTokenBucket qos(1e9, 1 << 20, QosTokenBucket::Mode::kShape);
+  qos.set_tenant_rate(7, 1e6);  // tenant 7 squeezed to 1 MB/s
+  DataplaneOp big{DataplaneOp::Kind::kPostSend, 7, 0, nic::Opcode::kSend, 1 << 20, 1};
+  (void)qos.on_op(big, sim::sec(2));  // drain tenant-7 burst
+  PolicyVerdict v = qos.on_op(big, sim::sec(2));
+  EXPECT_TRUE(v.allow);
+  EXPECT_NEAR(sim::to_sec(v.pace_delay), 1.048, 0.01) << "1 MiB at 1 MB/s";
+  // Other tenants unaffected.
+  DataplaneOp other{DataplaneOp::Kind::kPostSend, 8, 0, nic::Opcode::kSend, 4096, 1};
+  (void)qos.on_op(other, sim::sec(2));
+  EXPECT_EQ(qos.on_op(other, sim::sec(2)).pace_delay, 0);
+}
+
+TEST(QosTokenBucket, RecvAndPollAreFree) {
+  QosTokenBucket qos(1.0, 1, QosTokenBucket::Mode::kPolice);  // draconian
+  DataplaneOp recv{DataplaneOp::Kind::kPostRecv, 1, 0, nic::Opcode::kSend, 1 << 20, 0};
+  DataplaneOp poll{DataplaneOp::Kind::kPollCq, 1, 0, nic::Opcode::kSend, 0, 0};
+  EXPECT_TRUE(qos.on_op(recv, 0).allow);
+  EXPECT_TRUE(qos.on_op(poll, 0).allow);
+}
+
+TEST(SecurityAcl, RegisteredTenantsAreRestricted) {
+  SecurityAcl acl;
+  acl.register_tenant(1);
+  acl.allow(1, 5);
+  DataplaneOp to5{DataplaneOp::Kind::kPostSend, 1, 0, nic::Opcode::kSend, 64, 5};
+  DataplaneOp to6{DataplaneOp::Kind::kPostSend, 1, 0, nic::Opcode::kSend, 64, 6};
+  EXPECT_TRUE(acl.on_op(to5, 0).allow);
+  EXPECT_FALSE(acl.on_op(to6, 0).allow);
+  // Unknown tenants pass in non-strict mode, fail in strict mode.
+  DataplaneOp other{DataplaneOp::Kind::kPostSend, 2, 0, nic::Opcode::kSend, 64, 6};
+  EXPECT_TRUE(acl.on_op(other, 0).allow);
+  acl.set_strict(true);
+  EXPECT_FALSE(acl.on_op(other, 0).allow);
+  // Revocation takes effect immediately — the OS-control headline feature.
+  acl.revoke(1, 5);
+  EXPECT_FALSE(acl.on_op(to5, 0).allow);
+  EXPECT_EQ(acl.denied(), 3u);
+}
+
+TEST(MessageSizeQuota, CapsPerTenant) {
+  MessageSizeQuota quota(1 << 20);
+  quota.set_tenant_max(3, 4096);
+  DataplaneOp big{DataplaneOp::Kind::kPostSend, 3, 0, nic::Opcode::kSend, 8192, 0};
+  DataplaneOp ok{DataplaneOp::Kind::kPostSend, 3, 0, nic::Opcode::kSend, 4096, 0};
+  DataplaneOp other{DataplaneOp::Kind::kPostSend, 4, 0, nic::Opcode::kSend, 8192, 0};
+  EXPECT_FALSE(quota.on_op(big, 0).allow);
+  EXPECT_EQ(quota.on_op(big, 0).error, -90);
+  EXPECT_TRUE(quota.on_op(ok, 0).allow);
+  EXPECT_TRUE(quota.on_op(other, 0).allow);
+}
+
+TEST(StatsCollector, CountsPerTenant) {
+  StatsCollector stats;
+  stats.on_op({DataplaneOp::Kind::kPostSend, 1, 0, nic::Opcode::kSend, 100, 0}, 0);
+  stats.on_op({DataplaneOp::Kind::kPostSend, 1, 0, nic::Opcode::kSend, 200, 0}, 0);
+  stats.on_op({DataplaneOp::Kind::kPostRecv, 1, 0, nic::Opcode::kSend, 0, 0}, 0);
+  stats.on_op({DataplaneOp::Kind::kPollCq, 2, 0, nic::Opcode::kSend, 0, 0}, 0);
+  EXPECT_EQ(stats.tenant(1).post_sends, 2u);
+  EXPECT_EQ(stats.tenant(1).bytes, 300u);
+  EXPECT_EQ(stats.tenant(1).post_recvs, 1u);
+  EXPECT_EQ(stats.tenant(2).polls, 1u);
+}
+
+TEST(Kernel, ControlPlaneCreatesUsableObjects) {
+  TwoHostFixture f;
+  Core& core = f.host0->core(0);
+  auto* cq = run_task(f.engine, f.host0->kernel().create_cq(core, 64));
+  ASSERT_NE(cq, nullptr);
+  auto pd = run_task(f.engine, f.host0->kernel().alloc_pd(core));
+  auto* qp = run_task(f.engine,
+                      f.host0->kernel().create_qp(
+                          core, nic::QpConfig{nic::QpType::kRC, pd, cq, cq, 16, 16, 0}));
+  ASSERT_NE(qp, nullptr);
+  EXPECT_GT(f.engine.now(), sim::us(10)) << "control-plane ops must cost time";
+  EXPECT_EQ(f.host0->kernel().syscall_count(), 3u);
+}
+
+TEST(Kernel, CordPostSendDeliversThroughPolicies) {
+  TwoHostFixture f;
+  auto& stats = static_cast<StatsCollector&>(
+      f.host0->kernel().policies().install(std::make_unique<StatsCollector>()));
+
+  run_task(f.engine, [](TwoHostFixture& f) -> sim::Task<> {
+    verbs::Context c0(*f.host0, 0, {.mode = verbs::DataplaneMode::kCord, .tenant = 9});
+    verbs::Context c1(*f.host1, 0, {.mode = verbs::DataplaneMode::kCord});
+    RcEndpoints e = co_await cord::testing::connect_rc(c0, c1);
+    std::vector<std::byte> src(256, std::byte{0x77}), dst(256);
+    auto* smr = co_await c0.reg_mr(e.pd0, src.data(), src.size(), 0);
+    auto* rmr = co_await c1.reg_mr(e.pd1, dst.data(), dst.size(), nic::kAccessLocalWrite);
+    int rc = co_await c1.post_recv(*e.qp1, {1, {uptr(dst.data()), 256, rmr->lkey}});
+    if (rc != 0) throw std::runtime_error("post_recv failed");
+    rc = co_await c0.post_send(*e.qp0, {.wr_id = 2, .sge = {uptr(src.data()), 256, smr->lkey}});
+    if (rc != 0) throw std::runtime_error("post_send failed");
+    nic::Cqe wc = co_await c1.wait_one(*e.rcq1);
+    if (wc.status != nic::WcStatus::kSuccess) throw std::runtime_error("bad status");
+    if (dst[0] != std::byte{0x77}) throw std::runtime_error("payload corrupt");
+  }(f));
+
+  EXPECT_EQ(stats.tenant(9).post_sends, 1u);
+  EXPECT_EQ(stats.tenant(9).bytes, 256u);
+}
+
+TEST(Kernel, PolicyDenialReturnsErrorToApplication) {
+  TwoHostFixture f;
+  auto& acl = static_cast<SecurityAcl&>(
+      f.host0->kernel().policies().install(std::make_unique<SecurityAcl>()));
+  acl.register_tenant(5);  // tenant 5 has an empty allow-list
+
+  int send_rc = 0;
+  run_task(f.engine, [](TwoHostFixture& f, int& send_rc) -> sim::Task<> {
+    verbs::Context c0(*f.host0, 0, {.mode = verbs::DataplaneMode::kCord, .tenant = 5});
+    verbs::Context c1(*f.host1, 0, {.mode = verbs::DataplaneMode::kCord});
+    RcEndpoints e = co_await cord::testing::connect_rc(c0, c1);
+    std::vector<std::byte> src(64);
+    auto* smr = co_await c0.reg_mr(e.pd0, src.data(), src.size(), 0);
+    send_rc = co_await c0.post_send(
+        *e.qp0, {.wr_id = 1, .sge = {uptr(src.data()), 64, smr->lkey}});
+  }(f, send_rc));
+  EXPECT_EQ(send_rc, -1) << "EPERM must reach the application";
+}
+
+TEST(Kernel, WaitCqEventWakesViaInterrupt) {
+  TwoHostFixture f;
+  run_task(f.engine, [](TwoHostFixture& f) -> sim::Task<> {
+    verbs::Context c0(*f.host0, 0, {});
+    verbs::Context c1(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(c0, c1);
+    std::vector<std::byte> src(64, std::byte{1}), dst(64);
+    auto* rmr = co_await c1.reg_mr(e.pd1, dst.data(), dst.size(), nic::kAccessLocalWrite);
+    (void)co_await c1.post_recv(*e.qp1, {1, {uptr(dst.data()), 64, rmr->lkey}});
+    // Receiver sleeps; sender posts 50 us later.
+    f.engine.call_at(f.engine.now() + sim::us(50), [&f, &e, &src] {
+      f.engine.spawn([](TwoHostFixture& f, RcEndpoints& e,
+                        std::vector<std::byte>& src) -> sim::Task<> {
+        verbs::Context cs(*f.host0, 1, {});
+        (void)co_await cs.post_send(
+            *e.qp0, {.sge = {uptr(src.data()), 64, 0}, .inline_data = true});
+      }(f, e, src));
+    });
+    nic::Cqe wc = co_await c1.wait_one_event(*e.rcq1);
+    if (wc.status != nic::WcStatus::kSuccess) throw std::runtime_error("bad wc");
+  }(f));
+  EXPECT_GE(f.host1->kernel().interrupt_count(), 1u)
+      << "the event path must ride an interrupt";
+}
+
+TEST(Kernel, RevokeQpFlushesApplicationWork) {
+  TwoHostFixture f;
+  run_task(f.engine, [](TwoHostFixture& f) -> sim::Task<> {
+    verbs::Context c0(*f.host0, 0, {});
+    verbs::Context c1(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(c0, c1);
+    std::vector<std::byte> dst(64);
+    auto* rmr = co_await c1.reg_mr(e.pd1, dst.data(), dst.size(), nic::kAccessLocalWrite);
+    (void)co_await c1.post_recv(*e.qp1, {1, {uptr(dst.data()), 64, rmr->lkey}});
+    // The OS yanks the QP out from under the application.
+    f.host1->kernel().revoke_qp(*e.qp1);
+    nic::Cqe wc = co_await c1.wait_one(*e.rcq1);
+    if (wc.status != nic::WcStatus::kWorkRequestFlushed)
+      throw std::runtime_error("expected flush");
+  }(f));
+}
+
+}  // namespace
+}  // namespace cord::os

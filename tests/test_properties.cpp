@@ -1,0 +1,305 @@
+// Property-based and parameterized suites: invariants that must hold for
+// every message size, operation, transport, rank count and random seed —
+// the sweeps that catch boundary bugs (MTU edges, inline threshold,
+// eager/rendezvous switch, non-power-of-two worlds).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "mpi/world.hpp"
+#include "os/policies.hpp"
+#include "perftest/perftest.hpp"
+#include "test_util.hpp"
+
+namespace cord {
+namespace {
+
+using cord::testing::RcEndpoints;
+using cord::testing::TwoHostFixture;
+using cord::testing::run_task;
+using cord::testing::uptr;
+
+// ---------------------------------------------------------------------------
+// NIC payload integrity across sizes x operations.
+// ---------------------------------------------------------------------------
+
+struct XferCase {
+  std::size_t size;
+  perftest::TestOp op;
+};
+
+class NicIntegrity : public ::testing::TestWithParam<XferCase> {};
+
+TEST_P(NicIntegrity, PayloadSurvivesBitExact) {
+  const auto [size, op] = GetParam();
+  TwoHostFixture f;
+  bool ok = false;
+  run_task(f.engine, [](TwoHostFixture& f, std::size_t size, perftest::TestOp op,
+                        bool& ok) -> sim::Task<> {
+    verbs::Context a(*f.host0, 0, {});
+    verbs::Context b(*f.host1, 0, {});
+    RcEndpoints e = co_await cord::testing::connect_rc(a, b);
+    std::vector<std::byte> src(size), dst(size, std::byte{0});
+    for (std::size_t i = 0; i < size; ++i) {
+      src[i] = static_cast<std::byte>((i * 131 + 17) & 0xFF);
+    }
+    auto* smr = co_await a.reg_mr(e.pd0, src.data(), size,
+                                  nic::kAccessRemoteRead);
+    auto* rmr = co_await b.reg_mr(
+        e.pd1, dst.data(), size,
+        nic::kAccessLocalWrite | nic::kAccessRemoteWrite | nic::kAccessRemoteRead);
+    nic::SendWr wr;
+    wr.sge = {uptr(src.data()), static_cast<std::uint32_t>(size), smr->lkey};
+    switch (op) {
+      case perftest::TestOp::kSend: {
+        (void)co_await b.post_recv(
+            *e.qp1, {1, {uptr(dst.data()), static_cast<std::uint32_t>(size),
+                         rmr->lkey}});
+        (void)co_await a.post_send(*e.qp0, std::move(wr));
+        (void)co_await b.wait_one(*e.rcq1);
+        break;
+      }
+      case perftest::TestOp::kWrite: {
+        wr.opcode = nic::Opcode::kRdmaWrite;
+        wr.remote_addr = uptr(dst.data());
+        wr.rkey = rmr->rkey;
+        (void)co_await a.post_send(*e.qp0, std::move(wr));
+        (void)co_await a.wait_one(*e.scq0);
+        break;
+      }
+      case perftest::TestOp::kRead: {
+        // b reads from a: reverse roles so dst is still on host1.
+        nic::SendWr rd;
+        rd.opcode = nic::Opcode::kRdmaRead;
+        rd.sge = {uptr(dst.data()), static_cast<std::uint32_t>(size), rmr->lkey};
+        rd.remote_addr = uptr(src.data());
+        rd.rkey = smr->rkey;
+        (void)co_await b.post_send(*e.qp1, std::move(rd));
+        (void)co_await b.wait_one(*e.scq1);
+        break;
+      }
+    }
+    ok = std::memcmp(src.data(), dst.data(), size) == 0;
+  }(f, size, op, ok));
+  EXPECT_TRUE(ok) << "corrupted payload at size " << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NicIntegrity,
+    ::testing::Values(
+        XferCase{1, perftest::TestOp::kSend}, XferCase{2, perftest::TestOp::kSend},
+        XferCase{3, perftest::TestOp::kSend},
+        XferCase{219, perftest::TestOp::kSend},   // inline boundary - 1
+        XferCase{220, perftest::TestOp::kSend},   // inline boundary
+        XferCase{221, perftest::TestOp::kSend},   // inline boundary + 1
+        XferCase{4095, perftest::TestOp::kSend},  // MTU - 1
+        XferCase{4096, perftest::TestOp::kSend},  // exactly MTU
+        XferCase{4097, perftest::TestOp::kSend},  // MTU + 1 (two packets)
+        XferCase{65536, perftest::TestOp::kSend},
+        XferCase{1u << 20, perftest::TestOp::kSend},
+        XferCase{1, perftest::TestOp::kWrite}, XferCase{4097, perftest::TestOp::kWrite},
+        XferCase{1u << 20, perftest::TestOp::kWrite},
+        XferCase{1, perftest::TestOp::kRead}, XferCase{4097, perftest::TestOp::kRead},
+        XferCase{1u << 20, perftest::TestOp::kRead}),
+    [](const auto& info) {
+      const char* op = info.param.op == perftest::TestOp::kSend    ? "send"
+                       : info.param.op == perftest::TestOp::kWrite ? "write"
+                                                                   : "read";
+      return std::string(op) + "_" + std::to_string(info.param.size);
+    });
+
+// ---------------------------------------------------------------------------
+// perftest physical-sanity properties.
+// ---------------------------------------------------------------------------
+
+class LatencyMonotonic : public ::testing::TestWithParam<perftest::Transport> {};
+
+TEST_P(LatencyMonotonic, LatencyNondecreasingInSize) {
+  double prev = 0.0;
+  for (std::size_t size : {64u, 1024u, 4096u}) {
+    perftest::Params p;
+    p.transport = GetParam();
+    p.msg_size = size;
+    p.iterations = 80;
+    const double us = perftest::run_latency(core::system_l(), p).avg_us;
+    EXPECT_GE(us, prev - 0.02) << "latency shrank when size grew to " << size;
+    prev = us;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, LatencyMonotonic,
+                         ::testing::Values(perftest::Transport::kRC,
+                                           perftest::Transport::kUD),
+                         [](const auto& info) {
+                           return info.param == perftest::Transport::kRC ? "RC"
+                                                                         : "UD";
+                         });
+
+class BandwidthBounded : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BandwidthBounded, ThroughputNeverExceedsWire) {
+  perftest::Params p;
+  p.msg_size = GetParam();
+  p.iterations = GetParam() >= (1u << 20) ? 40 : 800;
+  const auto r = perftest::run_bandwidth(core::system_l(), p);
+  EXPECT_LT(r.gbps, 100.0) << "nothing may beat the 100 Gbit/s wire";
+  EXPECT_GT(r.gbps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BandwidthBounded,
+                         ::testing::Values(64, 4096, 65536, 1u << 20),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Engine ordering under random schedules.
+// ---------------------------------------------------------------------------
+
+TEST(EngineProperty, RandomSchedulesFireInTimeOrder) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Engine e;
+    sim::Rng rng(seed);
+    std::vector<sim::Time> fired;
+    for (int i = 0; i < 500; ++i) {
+      const auto t = static_cast<sim::Time>(rng.next_below(1'000'000));
+      e.call_at(t, [&fired, &e] { fired.push_back(e.now()); });
+    }
+    e.run();
+    ASSERT_EQ(fired.size(), 500u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end())) << "seed " << seed;
+  }
+}
+
+TEST(ResourceProperty, RandomReservationsAreFifoAndConserveBusyTime) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Engine e;
+    sim::Resource r(e);
+    sim::Rng rng(seed);
+    sim::Time prev_finish = 0;
+    sim::Time total = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const auto busy = static_cast<sim::Time>(rng.next_below(10'000) + 1);
+      const auto earliest = static_cast<sim::Time>(rng.next_below(100'000));
+      const sim::Time fin = r.reserve_at(earliest, busy);
+      EXPECT_GE(fin, earliest + busy);
+      EXPECT_GE(fin, prev_finish + busy) << "FIFO violated";
+      prev_finish = fin;
+      total += busy;
+    }
+    EXPECT_EQ(r.busy_total(), total);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QoS token bucket: admitted volume is rate-bounded for any op pattern.
+// ---------------------------------------------------------------------------
+
+TEST(QosProperty, PolicedVolumeIsRateBounded) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const double rate = 1e9;         // 1 GB/s
+    const std::uint64_t burst = 64 * 1024;
+    os::QosTokenBucket qos(rate, burst, os::QosTokenBucket::Mode::kPolice);
+    sim::Rng rng(seed);
+    sim::Time now = 0;
+    std::uint64_t admitted = 0;
+    for (int i = 0; i < 3000; ++i) {
+      now += static_cast<sim::Time>(rng.next_below(sim::us(3)));
+      const std::uint64_t bytes = rng.next_below(32 * 1024) + 1;
+      const os::DataplaneOp op{os::DataplaneOp::Kind::kPostSend, 1, 0,
+                               nic::Opcode::kSend, bytes, 0};
+      if (qos.on_op(op, now).allow) admitted += bytes;
+    }
+    const double limit = rate * sim::to_sec(now) + burst + 32 * 1024;
+    EXPECT_LE(static_cast<double>(admitted), limit) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MPI: allreduce equals the local reduction for random inputs, any world.
+// ---------------------------------------------------------------------------
+
+struct WorldCase {
+  int ranks;
+  mpi::NetMode net;
+};
+
+class AllreduceMatchesLocal : public ::testing::TestWithParam<WorldCase> {};
+
+TEST_P(AllreduceMatchesLocal, RandomVectors) {
+  const auto [ranks, net] = GetParam();
+  core::System sys(core::system_l(), 2);
+  mpi::World world(sys, ranks, {.net = net});
+  (void)world.run([](mpi::Rank& r) -> sim::Task<> {
+    sim::Rng rng(100 + static_cast<std::uint64_t>(r.id()));
+    std::vector<std::int64_t> mine(32);
+    for (auto& v : mine) v = static_cast<std::int64_t>(rng.next_below(1000)) - 500;
+    // Everyone learns everyone's inputs to compute the reference locally.
+    std::vector<std::int64_t> all(32 * static_cast<std::size_t>(r.size()));
+    co_await r.allgather<std::int64_t>(mine, all);
+    std::vector<std::int64_t> expect(32, 0);
+    for (int rank = 0; rank < r.size(); ++rank) {
+      for (int i = 0; i < 32; ++i) expect[i] += all[rank * 32 + i];
+    }
+    std::vector<std::int64_t> got(32);
+    co_await r.allreduce<std::int64_t>(mine, got, mpi::Op::kSum);
+    if (got != expect) throw std::runtime_error("allreduce != local reduce");
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, AllreduceMatchesLocal,
+    ::testing::Values(WorldCase{2, mpi::NetMode::kBypass},
+                      WorldCase{3, mpi::NetMode::kBypass},
+                      WorldCase{5, mpi::NetMode::kBypass},
+                      WorldCase{8, mpi::NetMode::kBypass},
+                      WorldCase{4, mpi::NetMode::kCord},
+                      WorldCase{5, mpi::NetMode::kCord},
+                      WorldCase{4, mpi::NetMode::kIpoib},
+                      WorldCase{6, mpi::NetMode::kIpoib}),
+    [](const auto& info) {
+      const char* n = info.param.net == mpi::NetMode::kBypass ? "rdma"
+                      : info.param.net == mpi::NetMode::kCord ? "cord"
+                                                              : "ipoib";
+      return std::string(n) + "_" + std::to_string(info.param.ranks);
+    });
+
+// ---------------------------------------------------------------------------
+// MPI: payload integrity across the eager/rendezvous boundary.
+// ---------------------------------------------------------------------------
+
+class P2PBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(P2PBoundary, ContentIntactAroundEagerThreshold) {
+  const std::size_t size = GetParam();
+  core::System sys(core::system_l(), 2);
+  mpi::World world(sys, 2, {.net = mpi::NetMode::kBypass});
+  (void)world.run([size](mpi::Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      std::vector<std::byte> data(size);
+      for (std::size_t i = 0; i < size; ++i) {
+        data[i] = static_cast<std::byte>((i * 7 + 3) & 0xFF);
+      }
+      co_await r.send<std::byte>(1, 11, data);
+    } else {
+      std::vector<std::byte> out(size);
+      const std::size_t n = co_await r.recv<std::byte>(0, 11, out);
+      if (n != size) throw std::runtime_error("size mismatch");
+      for (std::size_t i = 0; i < size; ++i) {
+        if (out[i] != static_cast<std::byte>((i * 7 + 3) & 0xFF)) {
+          throw std::runtime_error("content mismatch");
+        }
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundary, P2PBoundary,
+                         ::testing::Values(1, 4095, 4096, 4097, 8192, 262144),
+                         [](const auto& info) {
+                           return "b" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cord
