@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_breaking_point.dir/abl_breaking_point.cpp.o"
+  "CMakeFiles/abl_breaking_point.dir/abl_breaking_point.cpp.o.d"
+  "abl_breaking_point"
+  "abl_breaking_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_breaking_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

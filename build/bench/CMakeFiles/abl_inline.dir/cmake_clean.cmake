@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_inline.dir/abl_inline.cpp.o"
+  "CMakeFiles/abl_inline.dir/abl_inline.cpp.o.d"
+  "abl_inline"
+  "abl_inline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

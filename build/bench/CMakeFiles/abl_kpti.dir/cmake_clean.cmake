@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_kpti.dir/abl_kpti.cpp.o"
+  "CMakeFiles/abl_kpti.dir/abl_kpti.cpp.o.d"
+  "abl_kpti"
+  "abl_kpti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_kpti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

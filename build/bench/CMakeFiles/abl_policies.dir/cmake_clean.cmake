@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_policies.dir/abl_policies.cpp.o"
+  "CMakeFiles/abl_policies.dir/abl_policies.cpp.o.d"
+  "abl_policies"
+  "abl_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_poll_path.dir/abl_poll_path.cpp.o"
+  "CMakeFiles/abl_poll_path.dir/abl_poll_path.cpp.o.d"
+  "abl_poll_path"
+  "abl_poll_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_poll_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_turbo.dir/abl_turbo.cpp.o"
+  "CMakeFiles/abl_turbo.dir/abl_turbo.cpp.o.d"
+  "abl_turbo"
+  "abl_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

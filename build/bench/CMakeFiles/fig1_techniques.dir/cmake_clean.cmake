@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_techniques.dir/fig1_techniques.cpp.o"
+  "CMakeFiles/fig1_techniques.dir/fig1_techniques.cpp.o.d"
+  "fig1_techniques"
+  "fig1_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

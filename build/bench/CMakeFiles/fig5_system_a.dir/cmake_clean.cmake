@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_system_a.dir/fig5_system_a.cpp.o"
+  "CMakeFiles/fig5_system_a.dir/fig5_system_a.cpp.o.d"
+  "fig5_system_a"
+  "fig5_system_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_system_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

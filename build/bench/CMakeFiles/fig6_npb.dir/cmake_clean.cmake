@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_npb.dir/fig6_npb.cpp.o"
+  "CMakeFiles/fig6_npb.dir/fig6_npb.cpp.o.d"
+  "fig6_npb"
+  "fig6_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_lock.dir/atomic_lock.cpp.o"
+  "CMakeFiles/atomic_lock.dir/atomic_lock.cpp.o.d"
+  "atomic_lock"
+  "atomic_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/qos_noisy_neighbor.cpp" "examples/CMakeFiles/qos_noisy_neighbor.dir/qos_noisy_neighbor.cpp.o" "gcc" "examples/CMakeFiles/qos_noisy_neighbor.dir/qos_noisy_neighbor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cord_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cord_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cord_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cord_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_noisy_neighbor.dir/qos_noisy_neighbor.cpp.o"
+  "CMakeFiles/qos_noisy_neighbor.dir/qos_noisy_neighbor.cpp.o.d"
+  "qos_noisy_neighbor"
+  "qos_noisy_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_noisy_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

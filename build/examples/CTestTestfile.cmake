@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;cord_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kv_store "/root/repo/build/examples/kv_store")
+set_tests_properties(example_kv_store PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;cord_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_qos_noisy_neighbor "/root/repo/build/examples/qos_noisy_neighbor")
+set_tests_properties(example_qos_noisy_neighbor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;cord_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mpi_stencil "/root/repo/build/examples/mpi_stencil")
+set_tests_properties(example_mpi_stencil PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;cord_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_observability "/root/repo/build/examples/observability")
+set_tests_properties(example_observability PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;cord_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_atomic_lock "/root/repo/build/examples/atomic_lock")
+set_tests_properties(example_atomic_lock PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;cord_example;/root/repo/examples/CMakeLists.txt;0;")

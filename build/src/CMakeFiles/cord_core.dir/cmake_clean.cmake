@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_core.dir/core/system.cpp.o"
+  "CMakeFiles/cord_core.dir/core/system.cpp.o.d"
+  "libcord_core.a"
+  "libcord_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_mpi.dir/mpi/endpoint.cpp.o"
+  "CMakeFiles/cord_mpi.dir/mpi/endpoint.cpp.o.d"
+  "CMakeFiles/cord_mpi.dir/mpi/socket_endpoint.cpp.o"
+  "CMakeFiles/cord_mpi.dir/mpi/socket_endpoint.cpp.o.d"
+  "CMakeFiles/cord_mpi.dir/mpi/verbs_endpoint.cpp.o"
+  "CMakeFiles/cord_mpi.dir/mpi/verbs_endpoint.cpp.o.d"
+  "CMakeFiles/cord_mpi.dir/mpi/world.cpp.o"
+  "CMakeFiles/cord_mpi.dir/mpi/world.cpp.o.d"
+  "libcord_mpi.a"
+  "libcord_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

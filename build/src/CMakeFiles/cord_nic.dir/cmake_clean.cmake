@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_nic.dir/nic/nic.cpp.o"
+  "CMakeFiles/cord_nic.dir/nic/nic.cpp.o.d"
+  "libcord_nic.a"
+  "libcord_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

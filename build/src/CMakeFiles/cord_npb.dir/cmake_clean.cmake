@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_npb.dir/npb/kernels_a.cpp.o"
+  "CMakeFiles/cord_npb.dir/npb/kernels_a.cpp.o.d"
+  "CMakeFiles/cord_npb.dir/npb/kernels_b.cpp.o"
+  "CMakeFiles/cord_npb.dir/npb/kernels_b.cpp.o.d"
+  "CMakeFiles/cord_npb.dir/npb/run.cpp.o"
+  "CMakeFiles/cord_npb.dir/npb/run.cpp.o.d"
+  "libcord_npb.a"
+  "libcord_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

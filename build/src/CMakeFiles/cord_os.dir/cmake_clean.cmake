@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_os.dir/os/kernel.cpp.o"
+  "CMakeFiles/cord_os.dir/os/kernel.cpp.o.d"
+  "libcord_os.a"
+  "libcord_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

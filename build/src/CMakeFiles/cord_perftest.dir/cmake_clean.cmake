@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_perftest.dir/perftest/perftest.cpp.o"
+  "CMakeFiles/cord_perftest.dir/perftest/perftest.cpp.o.d"
+  "libcord_perftest.a"
+  "libcord_perftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_perftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

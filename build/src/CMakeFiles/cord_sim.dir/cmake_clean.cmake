@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/cord_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/cord_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/cord_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/cord_sim.dir/sim/units.cpp.o"
+  "CMakeFiles/cord_sim.dir/sim/units.cpp.o.d"
+  "libcord_sim.a"
+  "libcord_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_sock.dir/sock/socket.cpp.o"
+  "CMakeFiles/cord_sock.dir/sock/socket.cpp.o.d"
+  "libcord_sock.a"
+  "libcord_sock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_sock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_verbs.dir/verbs/verbs.cpp.o"
+  "CMakeFiles/cord_verbs.dir/verbs/verbs.cpp.o.d"
+  "libcord_verbs.a"
+  "libcord_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perftest.dir/test_perftest.cpp.o"
+  "CMakeFiles/test_perftest.dir/test_perftest.cpp.o.d"
+  "test_perftest"
+  "test_perftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

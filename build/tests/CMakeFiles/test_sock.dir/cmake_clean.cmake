@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sock.dir/test_sock.cpp.o"
+  "CMakeFiles/test_sock.dir/test_sock.cpp.o.d"
+  "test_sock"
+  "test_sock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srq.dir/test_srq.cpp.o"
+  "CMakeFiles/test_srq.dir/test_srq.cpp.o.d"
+  "test_srq"
+  "test_srq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
