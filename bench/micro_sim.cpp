@@ -4,10 +4,14 @@
 // bench in this repository.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <vector>
 
+#include "nic/mr.hpp"
 #include "nic/nic.hpp"
+#include "nic/wr_pool.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
 
@@ -38,6 +42,84 @@ void BM_EngineQueueDepth1000(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineQueueDepth1000);
+
+// --- Fast-path component benchmarks ------------------------------------
+
+void BM_InlineFnAssignInvoke(benchmark::State& state) {
+  sim::InlineFn fn;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    fn.assign([&acc] { ++acc; });
+    fn();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_InlineFnAssignInvoke);
+
+void BM_StdFunctionAssignInvoke(benchmark::State& state) {
+  std::function<void()> fn;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    fn = [&acc] { ++acc; };
+    fn();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_StdFunctionAssignInvoke);
+
+void BM_MrTableCheckLocal(benchmark::State& state) {
+  nic::MrTable table;
+  static std::byte buf[1 << 16];
+  const auto addr = reinterpret_cast<std::uintptr_t>(buf);
+  std::vector<std::uint32_t> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back(
+        table.register_mr(1, addr + 1024u * i, 1024, nic::kAccessLocalWrite).lkey);
+  }
+  std::size_t i = 0;
+  const nic::MemoryRegion* mr = nullptr;
+  for (auto _ : state) {
+    const std::uint32_t k = keys[i];
+    i = (i + 1) & 63;
+    mr = table.check_local({addr + 1024u * static_cast<std::uint32_t>(i), 64, k},
+                           1, false);
+    benchmark::DoNotOptimize(mr);
+  }
+}
+BENCHMARK(BM_MrTableCheckLocal);
+
+void BM_NicFindQp(benchmark::State& state) {
+  sim::Engine engine;
+  fabric::Network net(engine);
+  net.add_node(0, sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
+  nic::NicRegistry reg;
+  nic::Nic n0(engine, net, reg, 0, {});
+  auto pd = n0.alloc_pd();
+  auto* cq = n0.create_cq(64);
+  std::vector<std::uint32_t> qpns;
+  for (int i = 0; i < 64; ++i) {
+    qpns.push_back(
+        n0.create_qp({nic::QpType::kRC, pd, cq, cq, 64, 64, 220})->qpn());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    nic::QueuePair* qp = n0.find_qp(qpns[i]);
+    i = (i + 1) & 63;
+    benchmark::DoNotOptimize(qp);
+  }
+}
+BENCHMARK(BM_NicFindQp);
+
+void BM_WrPoolAcquireRelease(benchmark::State& state) {
+  nic::WrPool pool;
+  for (auto _ : state) {
+    nic::WrRef ref = pool.acquire(nic::SendWr{});
+    nic::WrRef alias = ref;  // the in-flight paths copy handles around
+    benchmark::DoNotOptimize(alias);
+  }
+  benchmark::DoNotOptimize(pool.allocated());
+}
+BENCHMARK(BM_WrPoolAcquireRelease);
 
 sim::Task<int> leaf(sim::Engine& e) {
   co_await e.delay(sim::ns(1));

@@ -3,12 +3,17 @@
 // cost of a poll is charged by the verbs layer. Arming requests a one-shot
 // interrupt on the next completion (the `ibv_req_notify_cq` path used when
 // polling is disabled).
+//
+// Storage is a power-of-two ring over a flat vector (real CQs are rings in
+// host memory): push/poll are index arithmetic with no per-CQE allocation.
+// The ring starts small and doubles up to `capacity` on demand, so huge
+// capacities (benches create 2^20-entry CQs) cost nothing until used.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "nic/types.hpp"
 
@@ -22,16 +27,18 @@ class CompletionQueue {
   std::uint32_t cqn() const { return cqn_; }
   std::uint32_t capacity() const { return capacity_; }
   bool overflowed() const { return overflowed_; }
-  std::size_t depth() const { return entries_.size(); }
+  std::size_t depth() const { return count_; }
 
   /// Device side: append a CQE. Returns false (and latches the overflow
   /// flag) if the ring is full — a fatal condition, as on real hardware.
   bool push(const Cqe& cqe) {
-    if (entries_.size() >= capacity_) {
+    if (count_ >= capacity_) {
       overflowed_ = true;
       return false;
     }
-    entries_.push_back(cqe);
+    if (count_ == ring_.size()) grow();
+    ring_[(head_ + count_) & (ring_.size() - 1)] = cqe;
+    ++count_;
     if (armed_) {
       armed_ = false;
       if (on_event_) on_event_(*this);
@@ -42,9 +49,11 @@ class CompletionQueue {
   /// Host side: harvest up to out.size() completions. Returns the count.
   std::size_t poll(std::span<Cqe> out) {
     std::size_t n = 0;
-    while (n < out.size() && !entries_.empty()) {
-      out[n++] = entries_.front();
-      entries_.pop_front();
+    const std::size_t mask = ring_.empty() ? 0 : ring_.size() - 1;
+    while (n < out.size() && count_ > 0) {
+      out[n++] = ring_[head_];
+      head_ = (head_ + 1) & mask;
+      --count_;
     }
     return n;
   }
@@ -59,9 +68,28 @@ class CompletionQueue {
   }
 
  private:
+  void grow() {
+    const std::size_t old_size = ring_.size();
+    std::size_t new_size = old_size == 0 ? 16 : old_size * 2;
+    if (new_size > capacity_) {
+      // Round the final allocation up to a power of two so index masking
+      // keeps working; count_ still enforces `capacity_`.
+      new_size = 1;
+      while (new_size < capacity_) new_size *= 2;
+    }
+    std::vector<Cqe> next(new_size);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = ring_[(head_ + i) & (old_size - 1)];
+    }
+    ring_ = std::move(next);
+    head_ = 0;
+  }
+
   std::uint32_t cqn_;
   std::uint32_t capacity_;
-  std::deque<Cqe> entries_;
+  std::vector<Cqe> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   bool armed_ = false;
   bool overflowed_ = false;
   std::function<void(CompletionQueue&)> on_event_;

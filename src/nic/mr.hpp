@@ -2,10 +2,22 @@
 // Every DMA the simulated NIC performs is validated against this table,
 // exactly like the real device validates lkeys/rkeys — this is what lets
 // CoRD keep zero-copy while the kernel owns the data path.
+//
+// Layout: the NIC allocates lkey == rkey per MR (as mlx5 does), so one
+// open-addressed hash table keyed by that key serves both the local
+// (lkey) and remote (rkey) validation paths — every data-plane check is
+// a single probe sequence over a flat array instead of two chained
+// `unordered_map`s. Region objects live in a stable slab (deque +
+// freelist), so `const MemoryRegion*` stays valid across registrations
+// and table growth — kernel and verbs layers hold such pointers long
+// term. Deregistration tombstones the index slot and recycles the slab
+// slot for the next registration.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <deque>
+#include <vector>
 
 #include "nic/types.hpp"
 
@@ -24,25 +36,33 @@ struct MemoryRegion {
   }
 };
 
-/// Registration table; lkey and rkey spaces are distinct (as in mlx5,
-/// where they happen to be equal per MR — we keep them equal too, but look
-/// them up through separate indices to model the separate validation paths).
 class MrTable {
  public:
+  MrTable() : slots_(kInitialBuckets) {}
+
   const MemoryRegion& register_mr(ProtectionDomainId pd, std::uintptr_t addr,
                                   std::size_t length, std::uint32_t access) {
     const std::uint32_t key = next_key_++;
-    MemoryRegion mr{addr, length, key, key, access, pd};
-    auto [it, ok] = by_lkey_.emplace(key, mr);
-    by_rkey_.emplace(key, &it->second);
-    return it->second;
+    MemoryRegion* mr;
+    if (!free_regions_.empty()) {
+      mr = free_regions_.back();
+      free_regions_.pop_back();
+    } else {
+      mr = &regions_.emplace_back();
+    }
+    *mr = MemoryRegion{addr, length, key, key, access, pd};
+    insert(key, mr);
+    return *mr;
   }
 
   bool deregister_mr(std::uint32_t lkey) {
-    auto it = by_lkey_.find(lkey);
-    if (it == by_lkey_.end()) return false;
-    by_rkey_.erase(it->second.rkey);
-    by_lkey_.erase(it);
+    Slot* s = probe(lkey);
+    if (s == nullptr) return false;
+    free_regions_.push_back(s->mr);
+    s->state = Slot::kTombstone;
+    s->mr = nullptr;
+    --size_;
+    ++tombstones_;
     return true;
   }
 
@@ -51,9 +71,9 @@ class MrTable {
   /// targets.
   const MemoryRegion* check_local(const Sge& sge, ProtectionDomainId pd,
                                   bool needs_local_write) const {
-    auto it = by_lkey_.find(sge.lkey);
-    if (it == by_lkey_.end()) return nullptr;
-    const MemoryRegion& mr = it->second;
+    const Slot* s = probe(sge.lkey);
+    if (s == nullptr) return nullptr;
+    const MemoryRegion& mr = *s->mr;
     if (mr.pd != pd) return nullptr;
     if (!mr.covers(sge.addr, sge.length)) return nullptr;
     if (needs_local_write && (mr.access & kAccessLocalWrite) == 0) return nullptr;
@@ -63,19 +83,86 @@ class MrTable {
   /// Validate a remote access (inbound RDMA read/write).
   const MemoryRegion* check_remote(std::uint32_t rkey, std::uintptr_t addr,
                                    std::size_t len, std::uint32_t required_access) const {
-    auto it = by_rkey_.find(rkey);
-    if (it == by_rkey_.end()) return nullptr;
-    const MemoryRegion& mr = *it->second;
+    const Slot* s = probe(rkey);
+    if (s == nullptr) return nullptr;
+    const MemoryRegion& mr = *s->mr;
     if ((mr.access & required_access) != required_access) return nullptr;
     if (!mr.covers(addr, len)) return nullptr;
     return &mr;
   }
 
-  std::size_t size() const { return by_lkey_.size(); }
+  std::size_t size() const { return size_; }
+  /// Index buckets (power of two); exposed so tests can assert that
+  /// deregister/re-register cycles recycle slots instead of growing.
+  std::size_t bucket_count() const { return slots_.size(); }
+  /// Stable region slabs ever created; plateaus at peak live MR count.
+  std::size_t region_slabs() const { return regions_.size(); }
 
  private:
-  std::unordered_map<std::uint32_t, MemoryRegion> by_lkey_;
-  std::unordered_map<std::uint32_t, MemoryRegion*> by_rkey_;
+  static constexpr std::size_t kInitialBuckets = 64;
+
+  struct Slot {
+    enum State : std::uint8_t { kEmpty = 0, kFull, kTombstone };
+    std::uint32_t key = 0;
+    State state = kEmpty;
+    MemoryRegion* mr = nullptr;
+  };
+
+  // Keys are sequential (0x1000, 0x1001, ...); Fibonacci mixing spreads
+  // them across the table so linear probes stay short.
+  std::size_t bucket_of(std::uint32_t key) const {
+    return (key * 2654435761u) & (slots_.size() - 1);
+  }
+
+  const Slot* probe(std::uint32_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = bucket_of(key);; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.state == Slot::kEmpty) return nullptr;
+      if (s.state == Slot::kFull && s.key == key) return &s;
+    }
+  }
+  Slot* probe(std::uint32_t key) {
+    return const_cast<Slot*>(std::as_const(*this).probe(key));
+  }
+
+  void insert(std::uint32_t key, MemoryRegion* mr) {
+    // Keep (full + tombstone) occupancy under 3/4 so probes terminate
+    // quickly; rehashing drops accumulated tombstones. Grow only when the
+    // live entries alone would keep the table past half full — otherwise
+    // rehash in place, so deregister/re-register churn sheds tombstones
+    // without doubling the table forever.
+    if ((size_ + tombstones_ + 1) * 4 > slots_.size() * 3) {
+      const bool grow = (size_ + 1) * 2 > slots_.size();
+      rehash(grow ? slots_.size() * 2 : slots_.size());
+    }
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = bucket_of(key);; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.state != Slot::kFull) {
+        if (s.state == Slot::kTombstone) --tombstones_;
+        s = Slot{key, Slot::kFull, mr};
+        ++size_;
+        return;
+      }
+    }
+  }
+
+  void rehash(std::size_t new_buckets) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_buckets, Slot{});
+    tombstones_ = 0;
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.state == Slot::kFull) insert(s.key, s.mr);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::deque<MemoryRegion> regions_;       // stable storage for MR objects
+  std::vector<MemoryRegion*> free_regions_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
   std::uint32_t next_key_ = 0x1000;
 };
 

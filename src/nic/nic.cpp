@@ -62,11 +62,9 @@ const std::byte* payload_ptr(const SendWr& wr) {
 
 }  // namespace
 
-void NicRegistry::add(Nic& nic) { nics_[nic.node()] = &nic; }
-
-Nic* NicRegistry::find(NodeId id) const {
-  auto it = nics_.find(id);
-  return it == nics_.end() ? nullptr : it->second;
+void NicRegistry::add(Nic& nic) {
+  if (nic.node() >= nics_.size()) nics_.resize(nic.node() + 1, nullptr);
+  nics_[nic.node()] = &nic;
 }
 
 Nic::Nic(sim::Engine& engine, fabric::Network& network, NicRegistry& registry,
@@ -83,29 +81,31 @@ Nic::Nic(sim::Engine& engine, fabric::Network& network, NicRegistry& registry,
 }
 
 CompletionQueue* Nic::create_cq(std::uint32_t capacity) {
-  const std::uint32_t cqn = next_cqn_++;
-  auto [it, ok] = cqs_.emplace(cqn, std::make_unique<CompletionQueue>(cqn, capacity));
-  return it->second.get();
+  const std::uint32_t cqn = kFirstCqn + static_cast<std::uint32_t>(cqs_.size());
+  cqs_.push_back(std::make_unique<CompletionQueue>(cqn, capacity));
+  return cqs_.back().get();
 }
 
 QueuePair* Nic::create_qp(const QpConfig& cfg) {
   if (cfg.send_cq == nullptr || cfg.recv_cq == nullptr) return nullptr;
-  const std::uint32_t qpn = next_qpn_++;
+  const std::uint32_t qpn = kFirstQpn + static_cast<std::uint32_t>(qps_.size());
   QpConfig clamped = cfg;
   // The device caps the inline size it accepts (ibv_create_qp adjusts
   // cap.max_inline_data the same way).
   clamped.max_inline = std::min(clamped.max_inline, cfg_.max_inline);
-  auto [it, ok] = qps_.emplace(qpn, std::make_unique<QueuePair>(qpn, clamped));
-  return it->second.get();
+  qps_.push_back(std::make_unique<QueuePair>(qpn, clamped));
+  return qps_.back().get();
 }
 
-void Nic::destroy_qp(std::uint32_t qpn) { qps_.erase(qpn); }
+void Nic::destroy_qp(std::uint32_t qpn) {
+  const std::uint32_t idx = qpn - kFirstQpn;
+  if (idx < qps_.size()) qps_[idx].reset();
+}
 
 SharedReceiveQueue* Nic::create_srq(ProtectionDomainId pd, std::uint32_t capacity) {
-  const std::uint32_t srqn = next_srqn_++;
-  auto [it, ok] =
-      srqs_.emplace(srqn, std::make_unique<SharedReceiveQueue>(srqn, pd, capacity));
-  return it->second.get();
+  const std::uint32_t srqn = kFirstSrqn + static_cast<std::uint32_t>(srqs_.size());
+  srqs_.push_back(std::make_unique<SharedReceiveQueue>(srqn, pd, capacity));
+  return srqs_.back().get();
 }
 
 int Nic::post_srq_recv(SharedReceiveQueue& srq, RecvWr wr) {
@@ -116,11 +116,6 @@ int Nic::post_srq_recv(SharedReceiveQueue& srq, RecvWr wr) {
   }
   srq.wqes_.push_back(wr);
   return kOk;
-}
-
-QueuePair* Nic::find_qp(std::uint32_t qpn) const {
-  auto it = qps_.find(qpn);
-  return it == qps_.end() ? nullptr : it->second.get();
 }
 
 int Nic::modify_qp(QueuePair& qp, QpState target, AddressHandle dest) {
@@ -236,11 +231,10 @@ sim::Task<> Nic::sq_worker(std::uint32_t qpn) {
   if (QueuePair* qp = find_qp(qpn)) qp->sq_worker_active_ = false;
 }
 
-void Nic::retry_send(std::uint32_t qpn, std::shared_ptr<SendWr> wr,
-                     std::uint32_t rnr_attempts) {
+void Nic::retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts) {
   QueuePair* qp = find_qp(qpn);
   if (qp == nullptr || qp->state_ != QpState::kRts) return;
-  engine_->spawn([](Nic& nic, std::uint32_t qpn, std::shared_ptr<SendWr> wr,
+  engine_->spawn([](Nic& nic, std::uint32_t qpn, WrRef wr,
                     std::uint32_t attempts) -> sim::Task<> {
     co_await nic.processing_.use(nic.cfg_.wqe_processing);
     QueuePair* qp = nic.find_qp(qpn);
@@ -286,7 +280,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
     case Opcode::kSend:
     case Opcode::kSendWithImm: {
       TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
-      auto shared = std::make_shared<SendWr>(std::move(wr));
+      WrRef shared = wr_pool_.acquire(std::move(wr));
       if (is_ud) {
         // Unreliable: the send completes once the last byte is on the wire.
         sender_complete(sqpn, *shared, WcStatus::kSuccess,
@@ -303,7 +297,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
     case Opcode::kRdmaWrite:
     case Opcode::kRdmaWriteWithImm: {
       TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
-      auto shared = std::make_shared<SendWr>(std::move(wr));
+      WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done,
                        [this, dst, dqpn = dest.qpn, shared, sqpn,
                         delivered = t.delivered, rnr_attempts] {
@@ -316,7 +310,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       // Header-only read request towards the responder.
       TxTimes t = schedule_chain(*dst, 0, /*skip_src_dma=*/true,
                                  /*include_dst_dma=*/false);
-      auto shared = std::make_shared<SendWr>(std::move(wr));
+      WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done, [this, dst, dqpn = dest.qpn, shared, sqpn] {
         dst->handle_read_request(dqpn, shared, *this, sqpn);
       });
@@ -327,7 +321,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       // The request carries the operands (header-sized on the wire).
       TxTimes t = schedule_chain(*dst, 0, /*skip_src_dma=*/true,
                                  /*include_dst_dma=*/false);
-      auto shared = std::make_shared<SendWr>(std::move(wr));
+      WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done, [this, dst, dqpn = dest.qpn, shared, sqpn] {
         dst->handle_atomic_request(dqpn, shared, *this, sqpn);
       });
@@ -336,7 +330,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
   }
 }
 
-void Nic::handle_atomic_request(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+void Nic::handle_atomic_request(std::uint32_t local_qpn, WrRef wr,
                                 Nic& src, std::uint32_t src_qpn) {
   QueuePair* qp = find_qp(local_qpn);
   auto nak = [&](WcStatus status) {
@@ -386,7 +380,7 @@ void Nic::handle_atomic_request(std::uint32_t local_qpn, std::shared_ptr<SendWr>
   });
 }
 
-void Nic::handle_send_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+void Nic::handle_send_arrival(std::uint32_t local_qpn, WrRef wr,
                               Nic& src, std::uint32_t src_qpn, sim::Time delivered,
                               std::uint32_t rnr_attempts, bool reliable) {
   QueuePair* qp = find_qp(local_qpn);
@@ -471,7 +465,7 @@ void Nic::handle_send_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> w
   });
 }
 
-void Nic::handle_write_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+void Nic::handle_write_arrival(std::uint32_t local_qpn, WrRef wr,
                                Nic& src, std::uint32_t src_qpn, sim::Time delivered,
                                std::uint32_t rnr_attempts) {
   QueuePair* qp = find_qp(local_qpn);
@@ -536,7 +530,7 @@ void Nic::handle_write_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> 
   });
 }
 
-void Nic::handle_read_request(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+void Nic::handle_read_request(std::uint32_t local_qpn, WrRef wr,
                               Nic& src, std::uint32_t src_qpn) {
   QueuePair* qp = find_qp(local_qpn);
   const std::uint64_t len = wr->sge.length;
@@ -573,7 +567,7 @@ void Nic::handle_read_request(std::uint32_t local_qpn, std::shared_ptr<SendWr> w
   });
 }
 
-void Nic::send_ctrl(Nic& dst, sim::Time earliest, std::function<void()> fn) {
+void Nic::send_ctrl(Nic& dst, sim::Time earliest, sim::InlineFn fn) {
   fabric::Path p = network_->path(node_, dst.node());
   const sim::Time w = p.tx->reserve_at(earliest, p.bandwidth.time_for(cfg_.ack_bytes));
   engine_->call_at(w + p.propagation + dst.cfg_.ack_processing, std::move(fn));

@@ -27,9 +27,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <memory>
+#include <vector>
 
 #include "fabric/link.hpp"
 #include "nic/config.hpp"
@@ -37,21 +36,27 @@
 #include "nic/mr.hpp"
 #include "nic/qp.hpp"
 #include "nic/types.hpp"
+#include "nic/wr_pool.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/resource.hpp"
 
 namespace cord::nic {
 
 class Nic;
 
-/// Maps fabric node ids to NIC instances (the "subnet").
+/// Maps fabric node ids to NIC instances (the "subnet"). Node ids are
+/// small and dense, so this is a flat vector — `find` is one bounds check
+/// and an indexed load on the per-message path.
 class NicRegistry {
  public:
   void add(Nic& nic);
-  Nic* find(NodeId id) const;
+  Nic* find(NodeId id) const {
+    return id < nics_.size() ? nics_[id] : nullptr;
+  }
 
  private:
-  std::map<NodeId, Nic*> nics_;
+  std::vector<Nic*> nics_;
 };
 
 /// Error codes returned by the post verbs (negative errno convention).
@@ -90,7 +95,12 @@ class Nic {
   CompletionQueue* create_cq(std::uint32_t capacity);
   QueuePair* create_qp(const QpConfig& cfg);
   void destroy_qp(std::uint32_t qpn);
-  QueuePair* find_qp(std::uint32_t qpn) const;
+  /// O(1): qpn/cqn/srqn are allocated sequentially, so lookups index a
+  /// dense table (destroyed entries leave null holes).
+  QueuePair* find_qp(std::uint32_t qpn) const {
+    const std::uint32_t idx = qpn - kFirstQpn;  // wraps for qpn < kFirstQpn
+    return idx < qps_.size() ? qps_[idx].get() : nullptr;
+  }
   SharedReceiveQueue* create_srq(ProtectionDomainId pd, std::uint32_t capacity);
 
   /// State transitions; `dest` is required for the RTR transition of RC.
@@ -126,23 +136,22 @@ class Nic {
   void kick(QueuePair& qp);
   sim::Task<> sq_worker(std::uint32_t qpn);
   void process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts);
-  void retry_send(std::uint32_t qpn, std::shared_ptr<SendWr> wr,
-                  std::uint32_t rnr_attempts);
+  void retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts);
 
-  void handle_send_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+  void handle_send_arrival(std::uint32_t local_qpn, WrRef wr,
                            Nic& src, std::uint32_t src_qpn, sim::Time delivered,
                            std::uint32_t rnr_attempts, bool reliable);
-  void handle_write_arrival(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+  void handle_write_arrival(std::uint32_t local_qpn, WrRef wr,
                             Nic& src, std::uint32_t src_qpn, sim::Time delivered,
                             std::uint32_t rnr_attempts);
-  void handle_read_request(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+  void handle_read_request(std::uint32_t local_qpn, WrRef wr,
                            Nic& src, std::uint32_t src_qpn);
-  void handle_atomic_request(std::uint32_t local_qpn, std::shared_ptr<SendWr> wr,
+  void handle_atomic_request(std::uint32_t local_qpn, WrRef wr,
                              Nic& src, std::uint32_t src_qpn);
 
   /// Schedule an ACK/NAK-sized packet back to `dst` and run `fn` when it
   /// has been processed there.
-  void send_ctrl(Nic& dst, sim::Time earliest, std::function<void()> fn);
+  void send_ctrl(Nic& dst, sim::Time earliest, sim::InlineFn fn);
 
   void complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe);
   /// Sender-side completion for wr_id on `qpn` (releases the SQ credit;
@@ -164,14 +173,19 @@ class Nic {
   sim::Resource dma_rd_;      // payload fetches (TX side)
   sim::Resource dma_wr_;      // payload deliveries (RX side)
 
+  // qpn/cqn/srqn are handed out sequentially from fixed bases, so the
+  // object tables are dense vectors indexed by (n - base): creation
+  // appends, destruction nulls the slot, every data-plane lookup is O(1).
+  static constexpr std::uint32_t kFirstCqn = 1;
+  static constexpr std::uint32_t kFirstQpn = 0x100;
+  static constexpr std::uint32_t kFirstSrqn = 1;
+
   MrTable mrs_;
-  std::map<std::uint32_t, std::unique_ptr<CompletionQueue>> cqs_;
-  std::map<std::uint32_t, std::unique_ptr<QueuePair>> qps_;
-  std::map<std::uint32_t, std::unique_ptr<SharedReceiveQueue>> srqs_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::vector<std::unique_ptr<SharedReceiveQueue>> srqs_;
+  WrPool wr_pool_;
   ProtectionDomainId next_pd_ = 1;
-  std::uint32_t next_cqn_ = 1;
-  std::uint32_t next_qpn_ = 0x100;
-  std::uint32_t next_srqn_ = 1;
 
   NicCounters counters_;
 };

@@ -1,0 +1,118 @@
+// Per-NIC pool of in-flight send work requests.
+//
+// While a message is in flight, its SendWr is shared between the wire
+// event, the delivery continuation, retry timers and the ACK path. This
+// used to be one `std::shared_ptr<SendWr>` heap allocation (control block
+// + payload) per posted WR; WrPool instead hands out intrusively
+// refcounted slots from a slab-backed freelist, so steady-state traffic
+// recycles the same few nodes with zero allocation. The simulation is
+// single-threaded, so refcounts are plain integers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "nic/types.hpp"
+
+namespace cord::nic {
+
+class WrPool;
+
+/// Refcounted handle to a pooled SendWr. Copying bumps the count; the
+/// node returns to its pool's freelist when the last handle drops.
+class WrRef {
+ public:
+  WrRef() = default;
+  WrRef(const WrRef& o) : node_(o.node_) {
+    if (node_ != nullptr) ++node_->refs;
+  }
+  WrRef(WrRef&& o) noexcept : node_(std::exchange(o.node_, nullptr)) {}
+  WrRef& operator=(const WrRef& o) {
+    if (this != &o) {
+      release();
+      node_ = o.node_;
+      if (node_ != nullptr) ++node_->refs;
+    }
+    return *this;
+  }
+  WrRef& operator=(WrRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      node_ = std::exchange(o.node_, nullptr);
+    }
+    return *this;
+  }
+  ~WrRef() { release(); }
+
+  explicit operator bool() const { return node_ != nullptr; }
+  SendWr& operator*() const { return node_->wr; }
+  SendWr* operator->() const { return &node_->wr; }
+
+ private:
+  friend class WrPool;
+
+  struct Node {
+    SendWr wr;
+    std::uint32_t refs = 0;
+    WrPool* pool = nullptr;
+    Node* next_free = nullptr;
+  };
+
+  explicit WrRef(Node* node) : node_(node) {}
+  inline void release();
+
+  Node* node_ = nullptr;
+};
+
+class WrPool {
+ public:
+  WrPool() = default;
+  WrPool(const WrPool&) = delete;
+  WrPool& operator=(const WrPool&) = delete;
+
+  /// Move `wr` into a pooled slot and return the owning handle.
+  WrRef acquire(SendWr&& wr) {
+    WrRef::Node* node = free_;
+    if (node != nullptr) {
+      free_ = node->next_free;
+      node->next_free = nullptr;
+    } else {
+      node = &nodes_.emplace_back();
+      node->pool = this;
+    }
+    node->wr = std::move(wr);
+    node->refs = 1;
+    ++outstanding_;
+    return WrRef{node};
+  }
+
+  /// Slots currently held by live WrRefs (in-flight work requests).
+  std::size_t outstanding() const { return outstanding_; }
+  /// Total slots ever created; plateaus at the peak in-flight depth.
+  std::size_t allocated() const { return nodes_.size(); }
+
+ private:
+  friend class WrRef;
+
+  void recycle(WrRef::Node* node) {
+    // Drop any captured inline payload eagerly: the slab must not pin
+    // peak-sized buffers for the whole run.
+    node->wr.inline_payload = {};
+    node->next_free = free_;
+    free_ = node;
+    --outstanding_;
+  }
+
+  std::deque<WrRef::Node> nodes_;  // deque: node addresses are stable
+  WrRef::Node* free_ = nullptr;
+  std::size_t outstanding_ = 0;
+};
+
+inline void WrRef::release() {
+  if (node_ != nullptr && --node_->refs == 0) node_->pool->recycle(node_);
+  node_ = nullptr;
+}
+
+}  // namespace cord::nic

@@ -382,9 +382,12 @@ LatencyResult run_latency(const core::SystemConfig& cfg, const Params& p) {
   validate(p);
   core::System sys(cfg, 2);
   LatencyResult result;
-  sys.engine().spawn([](core::System& sys, const Params& p,
+  // Lives outside the workload coroutine: straggler NIC events (in-flight
+  // deliveries past the last harvested completion) still reference these
+  // buffers while run() drains the queue after the workload frame is gone.
+  Setup s;
+  sys.engine().spawn([](Setup& s, core::System& sys, const Params& p,
                         LatencyResult& result) -> sim::Task<> {
-    Setup s;
     co_await establish(s, sys, p, /*slots=*/1);
     const int total = p.warmup + p.iterations;
     switch (p.op) {
@@ -412,7 +415,7 @@ LatencyResult run_latency(const core::SystemConfig& cfg, const Params& p) {
     result.avg_us = result.latency_us.mean();
     result.p50_us = result.latency_us.percentile(50);
     result.p99_us = result.latency_us.percentile(99);
-  }(sys, p, result));
+  }(s, sys, p, result));
   sys.engine().run();
   if (result.latency_us.count() == 0) {
     throw std::runtime_error("latency test produced no samples");
@@ -424,9 +427,10 @@ BandwidthResult run_bandwidth(const core::SystemConfig& cfg, const Params& p) {
   validate(p);
   core::System sys(cfg, 2);
   BandwidthResult result;
-  sys.engine().spawn([](core::System& sys, const Params& p,
+  // Outlives the coroutine frame; see run_latency.
+  Setup s;
+  sys.engine().spawn([](Setup& s, core::System& sys, const Params& p,
                         BandwidthResult& result) -> sim::Task<> {
-    Setup s;
     // Deep RQ for small messages; for large ones cap the sink region at
     // 256 MiB — the wire serializes large messages so far apart that a
     // shallow RQ never underruns (reposting is ns, wire gaps are us).
@@ -462,7 +466,7 @@ BandwidthResult run_bandwidth(const core::SystemConfig& cfg, const Params& p) {
         throw std::runtime_error("payload integrity check failed");
       }
     }
-  }(sys, p, result));
+  }(s, sys, p, result));
   sys.engine().run();
   if (result.messages == 0) {
     throw std::runtime_error("bandwidth test produced no result");

@@ -1,9 +1,5 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
-#include <cinttypes>
-#include <cstdio>
-
 namespace cord::sim {
 
 namespace detail {
@@ -12,52 +8,62 @@ void notify_root_done(Engine& engine, std::uint64_t root_id) noexcept {
 }
 }  // namespace detail
 
+std::vector<Engine::Slab>& Engine::slab_cache() {
+  thread_local std::vector<Slab> cache;
+  return cache;
+}
+
+Engine::FnSlot* Engine::grow_slots() {
+  auto& cache = slab_cache();
+  FnSlot* slab;
+  std::size_t count;
+  if (!cache.empty()) {
+    // LIFO reuse: the most recently retired slab is the warmest.
+    slab = cache.back().slots.release();
+    count = cache.back().count;
+    cache.pop_back();
+  } else {
+    count = slab_slots_;
+    slab = new FnSlot[count];
+  }
+  if (slab_slots_ < kMaxSlabSlots) slab_slots_ *= 2;
+  slots_.push_back(Slab{std::unique_ptr<FnSlot[]>(slab), count});
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    slab[i].next_free = &slab[i + 1];
+  }
+  slab[count - 1].next_free = free_slots_;
+  free_slots_ = slab;
+  return slab;
+}
+
 Engine::~Engine() {
   // Destroy roots that never completed (their frames own all nested
   // coroutine frames through Task members, so this reclaims the whole
   // logical stack of each process).
   for (auto& [id, h] : roots_) h.destroy();
   roots_.clear();
-}
-
-void Engine::schedule_at(Time t, std::coroutine_handle<> h) {
-  assert(t >= now_ && "scheduling into the past");
-  queue_.push(Item{t, next_seq_++, h, nullptr});
-}
-
-void Engine::call_at(Time t, std::function<void()> fn) {
-  assert(t >= now_ && "scheduling into the past");
-  queue_.push(Item{t, next_seq_++, nullptr, std::move(fn)});
-}
-
-void Engine::dispatch(Item& item) {
-  ++events_processed_;
-  if (item.handle) {
-    item.handle.resume();
-  } else {
-    item.fn();
+  // Destroy callbacks still parked in the queue. Slots NOT in the queue
+  // are always empty (release_slot clears before recycling), so the
+  // queue's tagged payloads identify every live callable — no need to
+  // walk whole slabs.
+  const auto clear_parked = [](const Item& item) {
+    if (item.payload & kFnTag) {
+      reinterpret_cast<FnSlot*>(item.payload & ~kFnTag)->fn.clear();
+    }
+  };
+  for (const Item& item : queue_.heap_items()) clear_parked(item);
+  if (queue_.has_cached()) clear_parked(queue_.cached());
+  // Retire slabs (now guaranteed all-empty) to the thread-local cache
+  // instead of freeing them; see slab_cache().
+  auto& cache = slab_cache();
+  std::size_t cached = 0;
+  for (const auto& slab : cache) cached += slab.count;
+  for (auto& slab : slots_) {
+    if (cached + slab.count > kMaxCachedSlots) continue;  // excess: freed
+    cached += slab.count;
+    cache.push_back(std::move(slab));
   }
-}
-
-Time Engine::run() {
-  while (!queue_.empty()) {
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    now_ = item.t;
-    dispatch(item);
-  }
-  return now_;
-}
-
-Time Engine::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().t <= deadline) {
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    now_ = item.t;
-    dispatch(item);
-  }
-  if (now_ < deadline) now_ = deadline;
-  return now_;
+  slots_.clear();
 }
 
 }  // namespace cord::sim

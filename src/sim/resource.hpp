@@ -24,17 +24,20 @@ class Resource {
   Resource& operator=(const Resource&) = delete;
 
   /// Occupy the server for `busy` time; resumes when the reserved slot ends.
-  auto use(Time busy) {
+  [[nodiscard]] auto use(Time busy) {
     struct Awaiter {
       Resource& res;
       Time busy;
       Time finish = 0;
       bool await_ready() {
-        Time start = std::max(res.engine_->now(), res.next_free_);
+        // Read the clock once: Time aliases Time, so after the stores
+        // below the compiler would otherwise have to reload now_.
+        const Time now = res.engine_->now();
+        Time start = std::max(now, res.next_free_);
         finish = start + busy;
         res.next_free_ = finish;
         res.busy_total_ += busy;
-        return finish <= res.engine_->now();
+        return finish <= now;
       }
       void await_suspend(std::coroutine_handle<> h) {
         res.engine_->schedule_at(finish, h);

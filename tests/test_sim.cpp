@@ -161,6 +161,13 @@ TEST(Task, ExceptionsPropagateToAwaiter) {
 
 TEST(Task, DeepRecursionDoesNotOverflowStack) {
   // Symmetric transfer should make deeply nested awaits O(1) native stack.
+#if defined(__SANITIZE_ADDRESS__)
+  // ASan instrumentation defeats the symmetric-transfer tail call, so the
+  // unwind really does recurse on the native stack; keep the depth modest.
+  constexpr int kDepth = 1'000;
+#else
+  constexpr int kDepth = 50'000;
+#endif
   Engine e;
   struct Helper {
     static Task<int> count_down(Engine& e, int n) {
@@ -172,10 +179,10 @@ TEST(Task, DeepRecursionDoesNotOverflowStack) {
   };
   int result = 0;
   e.spawn([](Engine& e, int& result) -> Task<> {
-    result = co_await Helper::count_down(e, 50'000);
+    result = co_await Helper::count_down(e, kDepth);
   }(e, result));
   e.run();
-  EXPECT_EQ(result, 50'000);
+  EXPECT_EQ(result, kDepth);
 }
 
 TEST(Latch, WaitersReleaseOnTrigger) {

@@ -3,6 +3,7 @@
 // invariants (CoRD pays a constant per-op premium, nothing more).
 #include <gtest/gtest.h>
 
+#include "sim/join.hpp"
 #include "test_util.hpp"
 
 namespace cord::verbs {
@@ -32,10 +33,12 @@ sim::Task<sim::Time> pingpong_once(Context& client, Context& server,
                                                cmr->lkey}});
   const sim::Time t0 = client.core().engine().now();
 
-  // Server side echoes.
-  client.core().engine().spawn([](Context& server, RcEndpoints& e,
-                                  std::vector<std::byte>& sbuf,
-                                  std::uint32_t lkey) -> sim::Task<> {
+  // Server side echoes. Joined before co_return: it captures frame-local
+  // state by reference, so it must not outlive this coroutine.
+  sim::Joinable srv(client.core().engine(),
+                    [](Context& server, RcEndpoints& e,
+                       std::vector<std::byte>& sbuf,
+                       std::uint32_t lkey) -> sim::Task<> {
     nic::Cqe wc = co_await server.wait_one(*e.rcq1);
     if (wc.status != nic::WcStatus::kSuccess) throw std::runtime_error("server recv");
     (void)co_await server.post_send(
@@ -50,7 +53,9 @@ sim::Task<sim::Time> pingpong_once(Context& client, Context& server,
   (void)co_await client.wait_one(*e.scq0);
   nic::Cqe wc = co_await client.wait_one(*e.rcq0);
   if (wc.status != nic::WcStatus::kSuccess) throw std::runtime_error("client recv");
-  co_return client.core().engine().now() - t0;
+  const sim::Time rtt = client.core().engine().now() - t0;
+  co_await srv.join();
+  co_return rtt;
 }
 
 sim::Time measure_rtt(DataplaneMode client_mode, DataplaneMode server_mode,
