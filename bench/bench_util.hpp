@@ -2,6 +2,7 @@
 // printing and the message-size sweeps used across figures.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -66,6 +67,18 @@ inline int iters_for(std::size_t msg_size, int small = 2000, int large = 40) {
   if (msg_size >= (1u << 16)) return 200;
   if (msg_size >= (1u << 13)) return 600;
   return small;
+}
+
+/// A clamped run hit the engine's event-count safety limit: the data point
+/// covers fewer iterations than requested and must not be read as a
+/// steady-state number. One stderr line per affected point keeps figure
+/// output (stdout) clean while making truncation impossible to miss.
+inline void warn_clamped(std::uint64_t clamped, const char* where) {
+  if (clamped == 0) return;
+  std::fprintf(stderr,
+               "WARNING: %s: engine clamped %llu event(s); results for this "
+               "point are truncated\n",
+               where, static_cast<unsigned long long>(clamped));
 }
 
 }  // namespace cord::bench

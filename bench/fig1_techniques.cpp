@@ -51,7 +51,9 @@ int main() {
       p.iterations = size >= (1u << 20) ? 40 : 200;
       p.warmup = 20;
       p.knobs = v.knobs;
-      row.push_back(fmt("%.2f", run_latency(cfg, p).avg_us));
+      auto r = run_latency(cfg, p);
+      warn_clamped(r.clamped_events, "fig1a latency");
+      row.push_back(fmt("%.2f", r.avg_us));
     }
     lat.add_row(std::move(row));
   }
@@ -67,7 +69,9 @@ int main() {
       p.msg_size = size;
       p.iterations = iters_for(size);
       p.knobs = v.knobs;
-      row.push_back(fmt("%.3f", run_bandwidth(cfg, p).gbps));
+      auto r = run_bandwidth(cfg, p);
+      warn_clamped(r.clamped_events, "fig1b throughput");
+      row.push_back(fmt("%.3f", r.gbps));
     }
     bw.add_row(std::move(row));
   }

@@ -43,7 +43,9 @@ double lat_us(const core::SystemConfig& cfg, const OpRow& o, DataplaneMode c,
                                    .cord_inline_support = cfg.cord_inline_support};
   p.server = verbs::ContextOptions{.mode = s,
                                    .cord_inline_support = cfg.cord_inline_support};
-  return run_latency(cfg, p).avg_us;
+  auto r = run_latency(cfg, p);
+  warn_clamped(r.clamped_events, "fig3 latency");
+  return r.avg_us;
 }
 
 }  // namespace

@@ -30,7 +30,9 @@ BandwidthResult bw(const core::SystemConfig& cfg, TestOp op, Transport tr,
                                    .cord_inline_support = cfg.cord_inline_support};
   p.server = verbs::ContextOptions{.mode = mode,
                                    .cord_inline_support = cfg.cord_inline_support};
-  return run_bandwidth(cfg, p);
+  BandwidthResult r = run_bandwidth(cfg, p);
+  warn_clamped(r.clamped_events, "fig4 throughput");
+  return r;
 }
 
 void sweep(const core::SystemConfig& cfg, const char* name, TestOp op,

@@ -58,6 +58,7 @@ int main() {
       pc.iterations = pb.iterations;
       auto rb = run_latency(cfg, pb);
       auto rc = run_latency(cfg, pc);
+      warn_clamped(rb.clamped_events + rc.clamped_events, "fig5a latency");
       lat.add_row({o.name, size_label(size), fmt("%.2f", rb.avg_us),
                    fmt("%.2f", rc.avg_us), fmt("+%.2f", rc.avg_us - rb.avg_us),
                    fmt("%.3f", rc.latency_us.stddev())});
@@ -76,6 +77,7 @@ int main() {
       pc.iterations = pb.iterations;
       auto rb = run_bandwidth(cfg, pb);
       auto rc = run_bandwidth(cfg, pc);
+      warn_clamped(rb.clamped_events + rc.clamped_events, "fig5b throughput");
       bw.add_row({o.name, size_label(size), fmt("%.3f", rb.gbps),
                   fmt("%.1f", 100.0 * rc.gbps / rb.gbps)});
     }

@@ -1,0 +1,123 @@
+# Benchmark regression gate. Run via:
+#
+#   cmake --build build --target bench_gate        # or: ctest -C perf
+#
+# Re-runs the micro_sim engine benchmarks and fails if any benchmark's
+# cpu_time regressed more than TOLERANCE percent against the committed
+# baseline (BENCH_micro_sim.json at the repo root). Also runs the
+# trace-overhead check: the engine schedule/dispatch path with an idle
+# (disabled) tracer must not be measurably slower than with no tracer at
+# all — tracing that taxes the simulator when off is a regression even if
+# absolute numbers moved.
+#
+# Inputs (all required, passed with -D):
+#   BASELINE     committed BENCH_micro_sim.json
+#   MICRO_SIM    path to the micro_sim binary
+#   TRACE_BENCH  path to the abl_trace_overhead binary
+#   OUT_DIR      scratch directory for fresh JSON output
+#   TOLERANCE    allowed regression in percent (e.g. 20)
+#
+# Note: this host is a single noisy core; the tolerance is deliberately
+# generous and the gate runs each binary once. Treat a failure as "rerun
+# and investigate", not proof by itself.
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+foreach(var BASELINE MICRO_SIM TRACE_BENCH OUT_DIR TOLERANCE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_gate: missing -D${var}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# {name -> cpu_time} of a google-benchmark JSON file into <prefix>_<name>.
+function(load_bench_times json_file prefix)
+  file(READ "${json_file}" _doc)
+  string(JSON _n LENGTH "${_doc}" "benchmarks")
+  math(EXPR _last "${_n} - 1")
+  set(_names "")
+  foreach(i RANGE 0 ${_last})
+    string(JSON _name GET "${_doc}" "benchmarks" ${i} "name")
+    string(JSON _time GET "${_doc}" "benchmarks" ${i} "cpu_time")
+    string(MAKE_C_IDENTIFIER "${_name}" _id)
+    set(${prefix}_${_id} "${_time}" PARENT_SCOPE)
+    list(APPEND _names "${_name}")
+  endforeach()
+  set(${prefix}_NAMES "${_names}" PARENT_SCOPE)
+endfunction()
+
+# Float regression test (cpu_time comes as scientific-notation ns; CMake
+# math() is integer-only, so delegate the comparison to awk).
+# Sets ${out} to the +% regression if new > base * (1 + tol/100), else "".
+function(check_regression base new tol out)
+  execute_process(
+    COMMAND awk -v b=${base} -v n=${new} -v t=${tol}
+            "BEGIN { if (n > b * (1 + t / 100.0)) printf \"%.1f\", (n / b - 1) * 100; }"
+    OUTPUT_VARIABLE _pct RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "bench_gate: awk comparison failed")
+  endif()
+  set(${out} "${_pct}" PARENT_SCOPE)
+endfunction()
+
+set(_failures "")
+
+# --- 1. micro_sim vs committed baseline ------------------------------------
+set(_fresh "${OUT_DIR}/micro_sim_fresh.json")
+execute_process(
+  COMMAND "${MICRO_SIM}" --benchmark_format=json --benchmark_out=${_fresh}
+          --benchmark_out_format=json --benchmark_min_time=0.3
+  RESULT_VARIABLE _rc OUTPUT_QUIET)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "bench_gate: micro_sim failed (rc=${_rc})")
+endif()
+
+load_bench_times("${BASELINE}" BASE)
+load_bench_times("${_fresh}" FRESH)
+
+foreach(_name ${BASE_NAMES})
+  string(MAKE_C_IDENTIFIER "${_name}" _id)
+  if(NOT DEFINED FRESH_${_id})
+    list(APPEND _failures "${_name}: present in baseline, missing from fresh run")
+    continue()
+  endif()
+  check_regression("${BASE_${_id}}" "${FRESH_${_id}}" "${TOLERANCE}" _pct)
+  if(_pct)
+    list(APPEND _failures
+         "${_name}: cpu_time ${FRESH_${_id}} ns vs baseline ${BASE_${_id}} ns (+${_pct}%, limit +${TOLERANCE}%)")
+  endif()
+endforeach()
+
+# --- 2. trace-overhead check ----------------------------------------------
+set(_trace "${OUT_DIR}/trace_overhead.json")
+execute_process(
+  COMMAND "${TRACE_BENCH}" --benchmark_format=json --benchmark_out=${_trace}
+          --benchmark_out_format=json --benchmark_min_time=0.3
+          --benchmark_filter=BM_ScheduleDispatch
+  RESULT_VARIABLE _rc OUTPUT_QUIET)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "bench_gate: abl_trace_overhead failed (rc=${_rc})")
+endif()
+
+load_bench_times("${_trace}" TR)
+if(NOT DEFINED TR_BM_ScheduleDispatch_NoTracer OR
+   NOT DEFINED TR_BM_ScheduleDispatch_TracerIdle)
+  list(APPEND _failures
+       "trace-overhead benchmarks missing from abl_trace_overhead output")
+else()
+  check_regression("${TR_BM_ScheduleDispatch_NoTracer}"
+                   "${TR_BM_ScheduleDispatch_TracerIdle}" "${TOLERANCE}" _pct)
+  if(_pct)
+    list(APPEND _failures
+         "idle tracer taxes the engine dispatch path: ${TR_BM_ScheduleDispatch_TracerIdle} ns vs ${TR_BM_ScheduleDispatch_NoTracer} ns (+${_pct}%, limit +${TOLERANCE}%)")
+  else()
+    message(STATUS "trace overhead (engine dispatch, idle tracer vs none): "
+            "${TR_BM_ScheduleDispatch_TracerIdle} vs ${TR_BM_ScheduleDispatch_NoTracer} ns — OK")
+  endif()
+endif()
+
+if(_failures)
+  string(REPLACE ";" "\n  " _msg "${_failures}")
+  message(FATAL_ERROR "bench_gate FAILED:\n  ${_msg}")
+endif()
+message(STATUS "bench_gate: all benchmarks within +${TOLERANCE}% of baseline")

@@ -1,27 +1,35 @@
 // observability: what the OS can see and do once it owns the data path.
 //
 // Two applications talk over CoRD while the "operator" — pure kernel-side
-// code, no application cooperation — watches per-tenant traffic through a
-// StatsCollector policy and per-QP counters, then enforces a security
-// decision by revoking one connection mid-run. The revoked application
-// sees its work requests flushed, exactly like a TCP connection reset by
-// the firewall — the capability bypassed RDMA cannot offer.
+// code, no application cooperation — watches per-tenant traffic through
+// the kernel's metrics registry (`Kernel::proc_read`), a StatsCollector
+// policy mirrored into the same registry, and per-QP counters, then
+// enforces a security decision by revoking one connection mid-run. The
+// whole CoRD phase runs with the tracer armed, and the capture is
+// exported as Chrome trace-event JSON (load it in https://ui.perfetto.dev
+// to see each work request's post → syscall → policy → doorbell → DMA →
+// wire → completion span chain).
+//
+// The control: the same traffic in bypass mode leaves the kernel blind —
+// zero syscalls, zero per-tenant metrics. That contrast is the paper's
+// observability argument in one program.
 #include <cstdio>
 #include <vector>
 
 #include "core/system.hpp"
 #include "os/policies.hpp"
 #include "sim/join.hpp"
+#include "trace/export.hpp"
 
 using namespace cord;
 
 namespace {
 
-sim::Task<> traffic_loop(core::System& sys, os::TenantId tenant,
-                         std::size_t msg_size, int count, std::uint32_t& qpn_out,
-                         bool& saw_flush) {
-  verbs::Context a(sys.host(0), tenant, sys.options(verbs::DataplaneMode::kCord, tenant));
-  verbs::Context b(sys.host(1), tenant, sys.options(verbs::DataplaneMode::kCord, tenant));
+sim::Task<> traffic_loop(core::System& sys, verbs::DataplaneMode mode,
+                         os::TenantId tenant, std::size_t msg_size, int count,
+                         std::uint32_t& qpn_out, bool& saw_flush) {
+  verbs::Context a(sys.host(0), tenant, sys.options(mode, tenant));
+  verbs::Context b(sys.host(1), tenant, sys.options(mode, tenant));
   auto pd_a = co_await a.alloc_pd();
   auto pd_b = co_await b.alloc_pd();
   auto* scq_a = co_await a.create_cq(1024);
@@ -53,12 +61,8 @@ sim::Task<> traffic_loop(core::System& sys, os::TenantId tenant,
       break;
     }
     nic::Cqe wc = co_await a.wait_one(*scq_a);
-    if (wc.status == nic::WcStatus::kWorkRequestFlushed) {
-      saw_flush = true;
-      break;
-    }
     if (wc.status != nic::WcStatus::kSuccess) {
-      saw_flush = true;  // revocation can also surface as a flush on poll
+      saw_flush = true;  // revocation surfaces as a flush on poll
       break;
     }
     (void)co_await b.wait_one(*rcq_b);
@@ -66,39 +70,63 @@ sim::Task<> traffic_loop(core::System& sys, os::TenantId tenant,
   }
 }
 
+/// Count complete span chains in a trace: spans that have both a
+/// kVerbsPostSend and a sender-side kCompletion record.
+std::size_t complete_chains(const std::vector<trace::Record>& records) {
+  std::vector<std::uint8_t> posted, completed;
+  auto mark = [](std::vector<std::uint8_t>& v, std::uint32_t span) {
+    if (span >= v.size()) v.resize(span + 1, 0);
+    v[span] = 1;
+  };
+  for (const trace::Record& r : records) {
+    if (r.span == 0) continue;
+    if (r.point == trace::Point::kVerbsPostSend) mark(posted, r.span);
+    if (r.point == trace::Point::kCompletion && r.aux == 0) {
+      mark(completed, r.span);
+    }
+  }
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < posted.size() && s < completed.size(); ++s) {
+    if (posted[s] && completed[s]) ++n;
+  }
+  return n;
+}
+
 }  // namespace
 
 int main() {
-  std::printf("observability: the kernel watches and polices RDMA tenants\n\n");
-  core::System sys(core::system_l(), 2);
+  std::printf("observability: the kernel watches and polices RDMA tenants\n");
 
-  // Operator side: install a stats policy. Pure kernel configuration.
-  auto& stats = static_cast<os::StatsCollector&>(
-      sys.host(0).kernel().policies().install(std::make_unique<os::StatsCollector>()));
+  // ---- Phase 1: CoRD mode — the kernel sees everything -----------------
+  std::printf("\n=== CoRD mode ===\n");
+  core::System sys(core::system_l(), 2);
+  os::Kernel& kernel = sys.host(0).kernel();
+
+  // Operator side: install a stats policy mirrored into the kernel's
+  // metrics registry. Pure kernel configuration.
+  auto& stats = static_cast<os::StatsCollector&>(kernel.policies().install(
+      std::make_unique<os::StatsCollector>(kernel.metrics())));
+
+  // Arm the tracer for the whole phase: every WR leaves a span chain.
+  sys.tracer().set_enabled(true);
 
   std::uint32_t qpn_good = 0, qpn_bad = 0;
   bool flushed_good = false, flushed_bad = false;
-  sys.engine().spawn(traffic_loop(sys, /*tenant=*/7, 4096, 400, qpn_good,
+  sys.engine().spawn(traffic_loop(sys, verbs::DataplaneMode::kCord,
+                                  /*tenant=*/7, 4096, 400, qpn_good,
                                   flushed_good));
-  sys.engine().spawn(traffic_loop(sys, /*tenant=*/9, 65536, 400, qpn_bad,
+  sys.engine().spawn(traffic_loop(sys, verbs::DataplaneMode::kCord,
+                                  /*tenant=*/9, 65536, 400, qpn_bad,
                                   flushed_bad));
 
   // Mid-run, the operator inspects traffic and revokes tenant 9's QP.
   sys.engine().call_at(sim::ms(5), [&] {
-    std::printf("  [t=5ms] operator snapshot:\n");
-    for (const auto& [tenant, s] : stats.all()) {
-      std::printf("    tenant %u: %llu sends, %llu bytes posted\n", tenant,
-                  static_cast<unsigned long long>(s.post_sends),
-                  static_cast<unsigned long long>(s.bytes));
-    }
-    if (const nic::QpCounters* c = sys.host(0).kernel().qp_counters(qpn_bad)) {
-      std::printf("    qp %u (tenant 9): %llu msgs / %llu bytes on the wire\n",
-                  qpn_bad, static_cast<unsigned long long>(c->tx_msgs),
-                  static_cast<unsigned long long>(c->tx_bytes));
-    }
+    std::printf("  [t=5ms] operator snapshot (kernel proc_read, no app help):\n");
+    std::printf("%s", kernel.proc_read("tenants").c_str());
+    std::printf("%s", kernel.proc_read("qp/" + std::to_string(qpn_bad)).c_str());
     std::printf("  [t=5ms] tenant 9 violates policy -> revoking its QP\n");
     if (nic::QueuePair* qp = sys.host(0).nic().find_qp(qpn_bad)) {
-      sys.host(0).kernel().revoke_qp(*qp);
+      kernel.revoke_qp(*qp);
     }
   });
 
@@ -109,7 +137,49 @@ int main() {
   std::printf("  tenant 9 (revoked):      %s\n",
               flushed_bad ? "connection killed by the OS (posts fail, WRs flush)"
                           : "unaffected (bug!)");
-  std::printf("  final tenant-9 accounting: %llu sends seen by the kernel\n",
+
+  std::printf("\n  final kernel-side accounting:\n%s",
+              kernel.proc_read("tenants").c_str());
+  std::printf("  policy mirror agrees: tenant 9 saw %llu sends\n",
               static_cast<unsigned long long>(stats.tenant(9).post_sends));
-  return (flushed_bad && !flushed_good) ? 0 : 1;
+  std::printf("  engine health: clamped_events=%lld\n",
+              static_cast<long long>(sys.metrics().gauge_value("engine.clamped_events")));
+
+  const std::vector<trace::Record> records = sys.tracer().snapshot();
+  const std::size_t chains = complete_chains(records);
+  const char* trace_path = "observability_trace.json";
+  const bool exported = trace::write_chrome_trace_file(trace_path, records);
+  std::printf("  trace: %zu records, %zu complete WQE span chains -> %s\n",
+              records.size(), chains, exported ? trace_path : "(export failed)");
+
+  const bool cord_visible =
+      kernel.metrics().find_counter("kernel.tenant.post_sends", 9) != nullptr &&
+      kernel.metrics().find_counter("kernel.tenant.post_sends", 9)->value > 0;
+
+  // ---- Phase 2: bypass mode — the same traffic is invisible ------------
+  std::printf("\n=== Bypass mode (control) ===\n");
+  core::System sys_bp(core::system_l(), 2);
+  std::uint32_t qpn_bp = 0;
+  bool flushed_bp = false;
+  sys_bp.engine().spawn(traffic_loop(sys_bp, verbs::DataplaneMode::kBypass,
+                                     /*tenant=*/7, 4096, 100, qpn_bp,
+                                     flushed_bp));
+  sys_bp.engine().run();
+
+  os::Kernel& kernel_bp = sys_bp.host(0).kernel();
+  const std::string bp_tenants = kernel_bp.proc_read("tenants");
+  std::printf("  kernel proc_read(\"tenants\") after 100 bypassed sends: %s\n",
+              bp_tenants.empty() ? "(empty — the kernel saw nothing)"
+                                 : bp_tenants.c_str());
+  std::printf("%s", kernel_bp.proc_read("syscalls").c_str());
+  const bool bypass_blind =
+      bp_tenants.empty() &&
+      kernel_bp.metrics().find_counter("kernel.tenant.post_sends", 7) == nullptr;
+  std::printf("  -> %s\n",
+              bypass_blind ? "bypass traffic is invisible to the OS"
+                           : "unexpected kernel-side visibility (bug!)");
+
+  const bool ok = flushed_bad && !flushed_good && cord_visible && bypass_blind &&
+                  exported && chains > 0;
+  return ok ? 0 : 1;
 }

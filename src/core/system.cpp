@@ -79,6 +79,15 @@ System::System(SystemConfig cfg, std::size_t host_count) : cfg_(std::move(cfg)) 
         engine_, network_, registry_, static_cast<nic::NodeId>(i), cfg_.nic,
         cfg_.cpu, cfg_.kernel));
   }
+  // Engine-health gauges, read live (no per-event bookkeeping). The clamp
+  // gauge is how the bench harness notices a truncated run (satellite of
+  // the observability work: a clamped run is a lie unless surfaced).
+  metrics_.callback_gauge("engine.events_processed", [this] {
+    return static_cast<std::int64_t>(engine_.events_processed());
+  });
+  metrics_.callback_gauge("engine.clamped_events", [this] {
+    return static_cast<std::int64_t>(engine_.clamped_events());
+  });
 }
 
 }  // namespace cord::core

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "os/kernel.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "verbs/verbs.hpp"
 
 namespace cord::core {
@@ -54,6 +56,14 @@ class System {
   std::size_t host_count() const { return hosts_.size(); }
   os::Host& host(std::size_t i) { return *hosts_.at(i); }
 
+  /// The system's tracer, disabled by default (zero data-path cost until
+  /// `tracer().set_enabled(true)` arms the trace points).
+  trace::Tracer& tracer() { return tracer_; }
+
+  /// System-wide metrics: live views of engine health (events processed,
+  /// event-count clamp) — distinct from each host kernel's registry.
+  trace::MetricsRegistry& metrics() { return metrics_; }
+
   /// Context options for a process on this system in the given mode,
   /// applying the system's CoRD capabilities.
   verbs::ContextOptions options(verbs::DataplaneMode mode,
@@ -72,6 +82,8 @@ class System {
   fabric::Network network_{engine_};
   nic::NicRegistry registry_;
   std::vector<std::unique_ptr<os::Host>> hosts_;
+  trace::Tracer tracer_{engine_};
+  trace::MetricsRegistry metrics_;
 };
 
 }  // namespace cord::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "trace/trace.hpp"
+
 namespace cord::nic {
 
 std::string_view to_string(WcStatus s) {
@@ -189,8 +191,13 @@ int Nic::post_send(QueuePair& qp, SendWr wr) {
     if (wr.opcode == Opcode::kRdmaRead) return kErrInvalid;
     wr.inline_payload.assign(mem(wr.sge.addr), mem(wr.sge.addr) + wr.sge.length);
   }
+  if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+    tr->record(trace::Point::kWqePost, wr.trace_span, qp.qpn(), 0,
+               static_cast<std::uint8_t>(node_), payload_len(wr));
+  }
+  const std::uint32_t span = wr.trace_span;
   qp.sq_.push_back(std::move(wr));
-  kick(qp);
+  kick(qp, span);
   return kOk;
 }
 
@@ -207,9 +214,13 @@ int Nic::post_recv(QueuePair& qp, RecvWr wr) {
   return kOk;
 }
 
-void Nic::kick(QueuePair& qp) {
+void Nic::kick(QueuePair& qp, std::uint32_t trace_span) {
   if (qp.sq_worker_active_) return;
   qp.sq_worker_active_ = true;
+  if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+    tr->record(trace::Point::kDoorbell, trace_span, qp.qpn(), 0,
+               static_cast<std::uint8_t>(node_), 0, cfg_.doorbell_latency);
+  }
   engine_->call_in(cfg_.doorbell_latency, [this, qpn = qp.qpn()] {
     if (find_qp(qpn) != nullptr) engine_->spawn(sq_worker(qpn));
   });
@@ -242,6 +253,27 @@ void Nic::retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts) {
     // The credit for this WR is still held; process_one does not take one.
     nic.process_one(*qp, std::move(*wr), attempts);
   }(*this, qpn, std::move(wr), rnr_attempts));
+}
+
+// One record per pipeline stage of a WQE's execution, future-dated from
+// the reservation times schedule_chain computed. Only called with an
+// active tracer.
+void Nic::trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
+                      NodeId dst_node, std::uint64_t len) {
+  trace::Tracer* tr = engine_->tracer();
+  const auto node = static_cast<std::uint8_t>(node_);
+  const sim::Time now = engine_->now();
+  tr->record(trace::Point::kWqeFetch, wr.trace_span, qpn, 0, node, len);
+  if (!wr.inline_data && len > 0) {
+    tr->record(trace::Point::kDmaFetch, wr.trace_span, qpn, 0, node, len);
+  }
+  tr->record(trace::Point::kWireTx, wr.trace_span, qpn, 0, node, len,
+             t.wire_done - now);
+  if (t.delivered > t.wire_done) {
+    tr->record_at(t.wire_done, trace::Point::kDmaDeliver, wr.trace_span, qpn,
+                  0, static_cast<std::uint8_t>(dst_node), len,
+                  t.delivered - t.wire_done);
+  }
 }
 
 void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
@@ -280,6 +312,9 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
     case Opcode::kSend:
     case Opcode::kSendWithImm: {
       TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
+      if (engine_->tracer() != nullptr) [[unlikely]] {
+        trace_chain(sqpn, wr, t, dest.node, len);
+      }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       if (is_ud) {
         // Unreliable: the send completes once the last byte is on the wire.
@@ -297,6 +332,9 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
     case Opcode::kRdmaWrite:
     case Opcode::kRdmaWriteWithImm: {
       TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
+      if (engine_->tracer() != nullptr) [[unlikely]] {
+        trace_chain(sqpn, wr, t, dest.node, len);
+      }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done,
                        [this, dst, dqpn = dest.qpn, shared, sqpn,
@@ -310,6 +348,9 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       // Header-only read request towards the responder.
       TxTimes t = schedule_chain(*dst, 0, /*skip_src_dma=*/true,
                                  /*include_dst_dma=*/false);
+      if (engine_->tracer() != nullptr) [[unlikely]] {
+        trace_chain(sqpn, wr, t, dest.node, 0);
+      }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done, [this, dst, dqpn = dest.qpn, shared, sqpn] {
         dst->handle_read_request(dqpn, shared, *this, sqpn);
@@ -321,6 +362,9 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       // The request carries the operands (header-sized on the wire).
       TxTimes t = schedule_chain(*dst, 0, /*skip_src_dma=*/true,
                                  /*include_dst_dma=*/false);
+      if (engine_->tracer() != nullptr) [[unlikely]] {
+        trace_chain(sqpn, wr, t, dest.node, 0);
+      }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done, [this, dst, dqpn = dest.qpn, shared, sqpn] {
         dst->handle_atomic_request(dqpn, shared, *this, sqpn);
@@ -456,6 +500,11 @@ void Nic::handle_send_arrival(std::uint32_t local_qpn, WrRef wr,
                 Cqe{rwr.wr_id, WcStatus::kSuccess, WcOpcode::kRecv,
                     static_cast<std::uint32_t>(needed), local_qpn, src_qpn,
                     wr->imm, has_imm});
+    if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+      tr->record_at(engine_->now() + cfg_.cqe_write, trace::Point::kCompletion,
+                    wr->trace_span, local_qpn, 0,
+                    static_cast<std::uint8_t>(node_), len, 0, /*aux=*/1);
+    }
     if (reliable) {
       send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
         src.sender_complete(src_qpn, *wr, WcStatus::kSuccess,
@@ -615,7 +664,7 @@ void Nic::sender_complete(std::uint32_t qpn, const SendWr& wr, WcStatus status,
                           sim::Time at) {
   engine_->call_at(std::max(engine_->now(), at),
                    [this, qpn, wr_id = wr.wr_id, signaled = wr.signaled,
-                    op = wc_opcode(wr.opcode),
+                    op = wc_opcode(wr.opcode), span = wr.trace_span,
                     len = static_cast<std::uint32_t>(payload_len(wr)), status] {
                      QueuePair* qp = find_qp(qpn);
                      if (qp == nullptr) return;
@@ -623,6 +672,12 @@ void Nic::sender_complete(std::uint32_t qpn, const SendWr& wr, WcStatus status,
                      if (signaled || status != WcStatus::kSuccess) {
                        qp->send_cq().push(
                            Cqe{wr_id, status, op, len, qpn, 0, 0, false});
+                     }
+                     if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+                       tr->record(trace::Point::kCompletion, span, qpn, 0,
+                                  static_cast<std::uint8_t>(node_),
+                                  static_cast<std::uint8_t>(status), 0,
+                                  /*aux=*/0);
                      }
                    });
 }

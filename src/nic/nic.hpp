@@ -133,7 +133,7 @@ class Nic {
   TxTimes schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dma,
                          bool include_dst_dma);
 
-  void kick(QueuePair& qp);
+  void kick(QueuePair& qp, std::uint32_t trace_span = 0);
   sim::Task<> sq_worker(std::uint32_t qpn);
   void process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts);
   void retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts);
@@ -152,6 +152,11 @@ class Nic {
   /// Schedule an ACK/NAK-sized packet back to `dst` and run `fn` when it
   /// has been processed there.
   void send_ctrl(Nic& dst, sim::Time earliest, sim::InlineFn fn);
+
+  /// Emit the WQE-lifecycle trace records (fetch → DMA → wire → delivery)
+  /// for one processed WR. Only called when a tracer is attached.
+  void trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
+                   NodeId dst_node, std::uint64_t len);
 
   void complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe);
   /// Sender-side completion for wr_id on `qpn` (releases the SQ credit;

@@ -91,6 +91,10 @@ struct SendWr {
   std::uint64_t swap = 0;
   // UD destination.
   AddressHandle ud;
+  // Trace correlation id (cord::trace): stamped by the posting layer when
+  // tracing is enabled, carried through kernel and NIC so every lifecycle
+  // record of this WR shares one span. 0 = untraced.
+  std::uint32_t trace_span = 0;
   // Payload snapshot for inline sends, captured at post time (this is the
   // semantic point of inline: the buffer may be reused immediately).
   std::vector<std::byte> inline_payload;

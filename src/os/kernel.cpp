@@ -1,6 +1,39 @@
 #include "os/kernel.hpp"
 
+#include <cinttypes>
+#include <cstdlib>
+
+#include "trace/trace.hpp"
+
 namespace cord::os {
+
+Kernel::Kernel(sim::Engine& engine, nic::Nic& nic, KernelConfig cfg)
+    : engine_(&engine), nic_(&nic), cfg_(cfg) {
+  // Live views of the kernel's own counters — read-time callbacks, so the
+  // hot path keeps plain integer increments.
+  metrics_.callback_gauge("kernel.syscalls", [this] {
+    return static_cast<std::int64_t>(syscalls_);
+  });
+  metrics_.callback_gauge("kernel.interrupts", [this] {
+    return static_cast<std::int64_t>(interrupts_);
+  });
+}
+
+const Kernel::TenantMetrics& Kernel::tenant_metrics(TenantId tenant) {
+  if (tenant >= tenant_metrics_.size()) {
+    tenant_metrics_.resize(tenant + 1);
+  }
+  TenantMetrics& tm = tenant_metrics_[tenant];
+  if (tm.post_sends == nullptr) {
+    tm.post_sends = &metrics_.counter("kernel.tenant.post_sends", tenant);
+    tm.post_recvs = &metrics_.counter("kernel.tenant.post_recvs", tenant);
+    tm.polls = &metrics_.counter("kernel.tenant.polls", tenant);
+    tm.tx_bytes = &metrics_.counter("kernel.tenant.tx_bytes", tenant);
+    tm.completions = &metrics_.counter("kernel.tenant.completions", tenant);
+    tm.syscall_ns = &metrics_.histogram("kernel.tenant.syscall_ns", tenant);
+  }
+  return tm;
+}
 
 sim::Task<> Kernel::ioctl(Core& core, sim::Time cmd_cost) {
   ++syscalls_;
@@ -38,6 +71,10 @@ sim::Task<nic::CompletionQueue*> Kernel::create_cq(Core& core,
   cq->set_event_handler([this](nic::CompletionQueue& c) {
     engine_->call_in(nic_->config().interrupt_delivery, [this, &c] {
       ++interrupts_;
+      if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+        tr->record(trace::Point::kInterrupt, 0, c.cqn(), 0,
+                   static_cast<std::uint8_t>(nic_->node()));
+      }
       cq_signal(c).trigger();
     });
   });
@@ -70,56 +107,129 @@ sim::Task<> Kernel::destroy_qp(Core& core, std::uint32_t qpn) {
 sim::Task<int> Kernel::post_send(Core& core, TenantId tenant, nic::QueuePair& qp,
                                  nic::SendWr wr) {
   ++syscalls_;
-  const std::uint64_t bytes =
-      wr.inline_data ? wr.inline_payload.size() : wr.sge.length;
+  const sim::Time t0 = engine_->now();
+  const std::uint32_t qpn = qp.qpn();
+  const std::uint32_t span = wr.trace_span;
+  const std::uint8_t node = static_cast<std::uint8_t>(nic_->node());
+  // The SGE describes the payload even for inline sends: the copy into
+  // the WQE (which fills inline_payload) happens below us, in the NIC.
+  const std::uint64_t bytes = wr.sge.length;
+  // Copy of the handle struct: tenant_metrics_ may reallocate while this
+  // coroutine is suspended, but the pointed-to registry entries are stable.
+  const TenantMetrics tm = tenant_metrics(tenant);
+  tm.post_sends->add();
+  tm.tx_bytes->add(bytes);
+  trace::Tracer* tr = engine_->tracer();
+  if (tr != nullptr) [[unlikely]] {
+    tr->record(trace::Point::kSyscallEnter, span, qpn, tenant, node, bytes);
+  }
   const nic::NodeId dst =
       qp.type() == nic::QpType::kUD ? wr.ud.node : qp.dest().node;
-  const DataplaneOp op{DataplaneOp::Kind::kPostSend, tenant, qp.qpn(),
+  const DataplaneOp op{DataplaneOp::Kind::kPostSend, tenant, qpn,
                        wr.opcode, bytes, dst};
-  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  const PolicyVerdict v = policies_.evaluate(op, t0, tr, span, node);
   co_await core.work(core.syscall_cost() + cfg_.cord_post_work + v.cpu_cost,
                      Work::kKernel);
-  if (!v.allow) co_return v.error;
-  if (v.pace_delay > 0) co_await core.idle(v.pace_delay);
-  co_await core.work(core.model().doorbell_mmio, Work::kKernel);
-  co_return nic_->post_send(qp, std::move(wr));
+  int rc;
+  if (!v.allow) {
+    rc = v.error;
+  } else {
+    if (v.pace_delay > 0) co_await core.idle(v.pace_delay);
+    co_await core.work(core.model().doorbell_mmio, Work::kKernel);
+    rc = nic_->post_send(qp, std::move(wr));
+  }
+  const sim::Time elapsed = engine_->now() - t0;
+  tm.syscall_ns->add(static_cast<std::uint64_t>(elapsed) / 1000);
+  if ((tr = engine_->tracer()) != nullptr) [[unlikely]] {
+    tr->record(trace::Point::kSyscallExit, span, qpn, tenant, node,
+               static_cast<std::uint64_t>(elapsed));
+  }
+  co_return rc;
 }
 
 sim::Task<int> Kernel::post_recv(Core& core, TenantId tenant, nic::QueuePair& qp,
                                  nic::RecvWr wr) {
   ++syscalls_;
-  const DataplaneOp op{DataplaneOp::Kind::kPostRecv, tenant, qp.qpn(),
+  const sim::Time t0 = engine_->now();
+  const std::uint32_t qpn = qp.qpn();
+  const std::uint8_t node = static_cast<std::uint8_t>(nic_->node());
+  const TenantMetrics tm = tenant_metrics(tenant);
+  tm.post_recvs->add();
+  trace::Tracer* tr = engine_->tracer();
+  if (tr != nullptr) [[unlikely]] {
+    tr->record(trace::Point::kSyscallEnter, 0, qpn, tenant, node,
+               wr.sge.length);
+  }
+  const DataplaneOp op{DataplaneOp::Kind::kPostRecv, tenant, qpn,
                        nic::Opcode::kSend, wr.sge.length, 0};
-  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  const PolicyVerdict v = policies_.evaluate(op, t0, tr, 0, node);
   co_await core.work(core.syscall_cost() + cfg_.cord_post_work + v.cpu_cost,
                      Work::kKernel);
-  if (!v.allow) co_return v.error;
-  co_return nic_->post_recv(qp, wr);
+  const int rc = v.allow ? nic_->post_recv(qp, wr) : v.error;
+  const sim::Time elapsed = engine_->now() - t0;
+  tm.syscall_ns->add(static_cast<std::uint64_t>(elapsed) / 1000);
+  if ((tr = engine_->tracer()) != nullptr) [[unlikely]] {
+    tr->record(trace::Point::kSyscallExit, 0, qpn, tenant, node,
+               static_cast<std::uint64_t>(elapsed));
+  }
+  co_return rc;
 }
 
 sim::Task<int> Kernel::post_srq_recv(Core& core, TenantId tenant,
                                      nic::SharedReceiveQueue& srq, nic::RecvWr wr) {
   ++syscalls_;
+  const sim::Time t0 = engine_->now();
+  const std::uint8_t node = static_cast<std::uint8_t>(nic_->node());
+  const TenantMetrics tm = tenant_metrics(tenant);
+  tm.post_recvs->add();
+  trace::Tracer* tr = engine_->tracer();
+  if (tr != nullptr) [[unlikely]] {
+    tr->record(trace::Point::kSyscallEnter, 0, 0, tenant, node, wr.sge.length);
+  }
   const DataplaneOp op{DataplaneOp::Kind::kPostRecv, tenant, 0,
                        nic::Opcode::kSend, wr.sge.length, 0};
-  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  const PolicyVerdict v = policies_.evaluate(op, t0, tr, 0, node);
   co_await core.work(core.syscall_cost() + cfg_.cord_post_work + v.cpu_cost,
                      Work::kKernel);
-  if (!v.allow) co_return v.error;
-  co_return nic_->post_srq_recv(srq, wr);
+  const int rc = v.allow ? nic_->post_srq_recv(srq, wr) : v.error;
+  const sim::Time elapsed = engine_->now() - t0;
+  tm.syscall_ns->add(static_cast<std::uint64_t>(elapsed) / 1000);
+  if ((tr = engine_->tracer()) != nullptr) [[unlikely]] {
+    tr->record(trace::Point::kSyscallExit, 0, 0, tenant, node,
+               static_cast<std::uint64_t>(elapsed));
+  }
+  co_return rc;
 }
 
 sim::Task<std::size_t> Kernel::poll_cq(Core& core, TenantId tenant,
                                        nic::CompletionQueue& cq,
                                        std::span<nic::Cqe> out) {
   ++syscalls_;
+  const sim::Time t0 = engine_->now();
+  const std::uint8_t node = static_cast<std::uint8_t>(nic_->node());
+  const TenantMetrics tm = tenant_metrics(tenant);
+  tm.polls->add();
+  trace::Tracer* tr = engine_->tracer();
+  if (tr != nullptr) [[unlikely]] {
+    tr->record(trace::Point::kSyscallEnter, 0, cq.cqn(), tenant, node);
+  }
   const DataplaneOp op{DataplaneOp::Kind::kPollCq, tenant, 0,
                        nic::Opcode::kSend, 0, 0};
-  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  const PolicyVerdict v = policies_.evaluate(op, t0, tr, 0, node);
   const std::size_t n = cq.poll(out);
+  tm.completions->add(n);
+  if (tr != nullptr && n > 0) [[unlikely]] {
+    tr->record(trace::Point::kCqePoll, 0, cq.cqn(), tenant, node, n);
+  }
   co_await core.work(core.syscall_cost() + cfg_.cord_poll_work + v.cpu_cost +
                          static_cast<sim::Time>(n) * core.model().poll_hit,
                      Work::kKernel);
+  const sim::Time elapsed = engine_->now() - t0;
+  tm.syscall_ns->add(static_cast<std::uint64_t>(elapsed) / 1000);
+  if ((tr = engine_->tracer()) != nullptr) [[unlikely]] {
+    tr->record(trace::Point::kSyscallExit, 0, cq.cqn(), tenant, node,
+               static_cast<std::uint64_t>(elapsed));
+  }
   co_return n;
 }
 
@@ -133,6 +243,71 @@ sim::Task<> Kernel::wait_cq_event(Core& core, nic::CompletionQueue& cq) {
   // IRQ handler + scheduler wakeup on this core.
   co_await core.work(core.model().interrupt_handling + core.model().wakeup_latency,
                      Work::kKernel);
+}
+
+namespace {
+
+void append_tenant_line(std::string& out, const trace::MetricsRegistry& m,
+                        std::uint32_t t) {
+  char buf[256];
+  const auto cv = [&](const char* name) -> std::uint64_t {
+    const trace::Counter* c = m.find_counter(name, t);
+    return c == nullptr ? 0 : c->value;
+  };
+  std::uint64_t p50 = 0, p99 = 0;
+  if (const sim::LogHistogram* h = m.find_histogram("kernel.tenant.syscall_ns", t)) {
+    p50 = static_cast<std::uint64_t>(h->percentile(50.0));
+    p99 = static_cast<std::uint64_t>(h->percentile(99.0));
+  }
+  std::snprintf(buf, sizeof buf,
+                "tenant %" PRIu32 " post_sends=%" PRIu64 " post_recvs=%" PRIu64
+                " polls=%" PRIu64 " tx_bytes=%" PRIu64 " completions=%" PRIu64
+                " syscall_p50_ns=%" PRIu64 " syscall_p99_ns=%" PRIu64 "\n",
+                t, cv("kernel.tenant.post_sends"), cv("kernel.tenant.post_recvs"),
+                cv("kernel.tenant.polls"), cv("kernel.tenant.tx_bytes"),
+                cv("kernel.tenant.completions"), p50, p99);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Kernel::proc_read(std::string_view path) const {
+  char buf[256];
+  if (path == "metrics") return metrics_.text();
+  if (path == "syscalls") {
+    std::snprintf(buf, sizeof buf, "syscalls %" PRIu64 "\ninterrupts %" PRIu64 "\n",
+                  syscalls_, interrupts_);
+    return buf;
+  }
+  if (path == "tenants") {
+    std::string out;
+    for (std::uint32_t t : metrics_.labels("kernel.tenant.post_sends")) {
+      append_tenant_line(out, metrics_, t);
+    }
+    return out;
+  }
+  constexpr std::string_view kTenant = "tenant/";
+  if (path.size() > kTenant.size() && path.substr(0, kTenant.size()) == kTenant) {
+    const std::uint32_t t =
+        static_cast<std::uint32_t>(std::atoi(std::string(path.substr(kTenant.size())).c_str()));
+    if (metrics_.find_counter("kernel.tenant.post_sends", t) == nullptr) return {};
+    std::string out;
+    append_tenant_line(out, metrics_, t);
+    return out;
+  }
+  constexpr std::string_view kQp = "qp/";
+  if (path.size() > kQp.size() && path.substr(0, kQp.size()) == kQp) {
+    const std::uint32_t qpn =
+        static_cast<std::uint32_t>(std::atoi(std::string(path.substr(kQp.size())).c_str()));
+    const nic::QpCounters* c = qp_counters(qpn);
+    if (c == nullptr) return {};
+    std::snprintf(buf, sizeof buf,
+                  "qp %" PRIu32 " tx_msgs=%" PRIu64 " tx_bytes=%" PRIu64
+                  " rx_msgs=%" PRIu64 " rx_bytes=%" PRIu64 "\n",
+                  qpn, c->tx_msgs, c->tx_bytes, c->rx_msgs, c->rx_bytes);
+    return buf;
+  }
+  return {};
 }
 
 sim::Signal& Kernel::cq_signal(nic::CompletionQueue& cq) {

@@ -19,11 +19,14 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 
 #include "nic/nic.hpp"
 #include "os/cpu.hpp"
 #include "os/policy.hpp"
 #include "sim/event.hpp"
+#include "trace/metrics.hpp"
 
 namespace cord::os {
 
@@ -41,8 +44,7 @@ struct KernelConfig {
 
 class Kernel {
  public:
-  Kernel(sim::Engine& engine, nic::Nic& nic, KernelConfig cfg = {})
-      : engine_(&engine), nic_(&nic), cfg_(cfg) {}
+  Kernel(sim::Engine& engine, nic::Nic& nic, KernelConfig cfg = {});
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
@@ -93,7 +95,36 @@ class Kernel {
   std::uint64_t syscall_count() const { return syscalls_; }
   std::uint64_t interrupt_count() const { return interrupts_; }
 
+  // --- Kernel-side observability (CoRD's motivating capability) ---------
+  /// The host's metrics registry. In CoRD mode the data-plane syscalls
+  /// account every tenant's ops/bytes/latency here *without application
+  /// cooperation*; in bypass mode the data plane never enters the kernel,
+  /// so the per-tenant metrics simply never appear.
+  trace::MetricsRegistry& metrics() { return metrics_; }
+  const trace::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// /proc-style query interface. Supported paths:
+  ///   "metrics"       full registry dump (one metric per line)
+  ///   "syscalls"      syscall / interrupt totals
+  ///   "tenants"       one summary line per tenant the kernel has seen
+  ///   "tenant/<id>"   detailed metrics for one tenant
+  ///   "qp/<qpn>"      traffic counters of one queue pair
+  /// Unknown paths return the empty string.
+  std::string proc_read(std::string_view path) const;
+
  private:
+  /// Hot-path metric handles for one tenant (pointers into metrics_, which
+  /// has stable addresses). Created on a tenant's first syscall.
+  struct TenantMetrics {
+    trace::Counter* post_sends = nullptr;
+    trace::Counter* post_recvs = nullptr;
+    trace::Counter* polls = nullptr;
+    trace::Counter* tx_bytes = nullptr;
+    trace::Counter* completions = nullptr;
+    sim::LogHistogram* syscall_ns = nullptr;
+  };
+  /// Dense by tenant id (tenants are small integers in this repo).
+  const TenantMetrics& tenant_metrics(TenantId tenant);
   /// Full ioctl round trip: crossing + serialization + command.
   sim::Task<> ioctl(Core& core, sim::Time cmd_cost);
   sim::Signal& cq_signal(nic::CompletionQueue& cq);
@@ -105,6 +136,8 @@ class Kernel {
   std::map<std::uint32_t, std::unique_ptr<sim::Signal>> cq_signals_;
   std::uint64_t syscalls_ = 0;
   std::uint64_t interrupts_ = 0;
+  trace::MetricsRegistry metrics_;
+  std::vector<TenantMetrics> tenant_metrics_;
 };
 
 /// A host: one NIC, one kernel, N cores. Benchmark processes and MPI

@@ -10,9 +10,12 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "os/policy.hpp"
 #include "sim/stats.hpp"
+#include "trace/metrics.hpp"
 
 namespace cord::os {
 
@@ -143,8 +146,21 @@ class MessageSizeQuota final : public Policy {
 
 /// Observability: per-tenant op/byte counters, harvested without touching
 /// the application (the `rdma-system`-style accounting the paper cites).
+///
+/// Tenants are small dense integers in this repo, so the store is a flat
+/// vector indexed by tenant id — the per-op path is one bounds check and
+/// an indexed load, matching the O(1) data-plane lookups elsewhere.
+/// Optionally mirrors into a MetricsRegistry (under `policy.stats.*`) so
+/// the counters surface through `Kernel::proc_read` alongside the
+/// kernel's own metrics.
 class StatsCollector final : public Policy {
  public:
+  StatsCollector() = default;
+  /// Mirror every update into `registry` (counters named
+  /// `policy.stats.{post_sends,post_recvs,polls,bytes}`, label = tenant).
+  explicit StatsCollector(trace::MetricsRegistry& registry)
+      : registry_(&registry) {}
+
   std::string_view name() const override { return "stats-collector"; }
 
   struct TenantStats {
@@ -152,27 +168,57 @@ class StatsCollector final : public Policy {
     std::uint64_t post_recvs = 0;
     std::uint64_t polls = 0;
     std::uint64_t bytes = 0;
+    bool seen = false;
   };
 
   PolicyVerdict on_op(const DataplaneOp& op, sim::Time) override {
-    TenantStats& s = stats_[op.tenant];
+    TenantStats& s = slot(op.tenant);
     switch (op.kind) {
       case DataplaneOp::Kind::kPostSend:
         ++s.post_sends;
         s.bytes += op.bytes;
+        if (registry_ != nullptr) {
+          registry_->counter("policy.stats.post_sends", op.tenant).add();
+          registry_->counter("policy.stats.bytes", op.tenant).add(op.bytes);
+        }
         break;
-      case DataplaneOp::Kind::kPostRecv: ++s.post_recvs; break;
-      case DataplaneOp::Kind::kPollCq: ++s.polls; break;
+      case DataplaneOp::Kind::kPostRecv:
+        ++s.post_recvs;
+        if (registry_ != nullptr) {
+          registry_->counter("policy.stats.post_recvs", op.tenant).add();
+        }
+        break;
+      case DataplaneOp::Kind::kPollCq:
+        ++s.polls;
+        if (registry_ != nullptr) {
+          registry_->counter("policy.stats.polls", op.tenant).add();
+        }
+        break;
     }
     return {.cpu_cost = kCheckCost};
   }
 
-  const TenantStats& tenant(TenantId t) { return stats_[t]; }
-  const std::map<TenantId, TenantStats>& all() const { return stats_; }
+  const TenantStats& tenant(TenantId t) { return slot(t); }
+  /// Snapshot of (tenant, stats) for every tenant seen, ascending order.
+  std::vector<std::pair<TenantId, TenantStats>> all() const {
+    std::vector<std::pair<TenantId, TenantStats>> out;
+    for (TenantId t = 0; t < stats_.size(); ++t) {
+      if (stats_[t].seen) out.emplace_back(t, stats_[t]);
+    }
+    return out;
+  }
 
  private:
   static constexpr sim::Time kCheckCost = sim::ns(30);
-  std::map<TenantId, TenantStats> stats_;
+
+  TenantStats& slot(TenantId t) {
+    if (t >= stats_.size()) stats_.resize(t + 1);
+    stats_[t].seen = true;
+    return stats_[t];
+  }
+
+  std::vector<TenantStats> stats_;
+  trace::MetricsRegistry* registry_ = nullptr;
 };
 
 }  // namespace cord::os

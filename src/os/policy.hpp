@@ -12,6 +12,7 @@
 
 #include "nic/types.hpp"
 #include "sim/units.hpp"
+#include "trace/trace.hpp"
 
 namespace cord::os {
 
@@ -66,9 +67,24 @@ class PolicyChain {
   bool empty() const { return policies_.empty(); }
 
   PolicyVerdict evaluate(const DataplaneOp& op, sim::Time now) {
+    return evaluate(op, now, nullptr, 0, 0);
+  }
+
+  /// Traced evaluation: when `tr` is non-null, emits one kPolicyEval
+  /// record per policy visited (arg = that policy's CPU cost, aux = its
+  /// index in the chain) so per-policy overhead shows up in the span chain.
+  PolicyVerdict evaluate(const DataplaneOp& op, sim::Time now,
+                         trace::Tracer* tr, std::uint32_t span,
+                         std::uint8_t node) {
     PolicyVerdict total;
+    std::uint16_t idx = 0;
     for (auto& p : policies_) {
       PolicyVerdict v = p->on_op(op, now);
+      if (tr != nullptr) [[unlikely]] {
+        tr->record(trace::Point::kPolicyEval, span, op.qpn, op.tenant, node,
+                   static_cast<std::uint64_t>(v.cpu_cost), 0, idx);
+      }
+      ++idx;
       total.cpu_cost += v.cpu_cost;
       total.pace_delay = std::max(total.pace_delay, v.pace_delay);
       if (!v.allow) {

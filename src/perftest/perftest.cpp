@@ -416,7 +416,16 @@ LatencyResult run_latency(const core::SystemConfig& cfg, const Params& p) {
     result.p50_us = result.latency_us.percentile(50);
     result.p99_us = result.latency_us.percentile(99);
   }(s, sys, p, result));
+  if (p.capture_trace) {
+    sys.tracer().set_capacity(p.trace_capacity);
+    sys.tracer().set_enabled(true);
+  }
   sys.engine().run();
+  if (p.capture_trace) {
+    result.trace = sys.tracer().snapshot();
+    result.trace_dropped = sys.tracer().dropped();
+  }
+  result.clamped_events = sys.engine().clamped_events();
   if (result.latency_us.count() == 0) {
     throw std::runtime_error("latency test produced no samples");
   }
@@ -467,7 +476,16 @@ BandwidthResult run_bandwidth(const core::SystemConfig& cfg, const Params& p) {
       }
     }
   }(s, sys, p, result));
+  if (p.capture_trace) {
+    sys.tracer().set_capacity(p.trace_capacity);
+    sys.tracer().set_enabled(true);
+  }
   sys.engine().run();
+  if (p.capture_trace) {
+    result.trace = sys.tracer().snapshot();
+    result.trace_dropped = sys.tracer().dropped();
+  }
+  result.clamped_events = sys.engine().clamped_events();
   if (result.messages == 0) {
     throw std::runtime_error("bandwidth test produced no result");
   }

@@ -16,6 +16,7 @@
 
 #include "core/system.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace cord::perftest {
 
@@ -41,6 +42,11 @@ struct Params {
   verbs::ContextOptions client{};
   verbs::ContextOptions server{};
   Knobs knobs{};
+  /// Arm the system tracer for the run and return the captured records in
+  /// the result (off by default: tracing must never tax a benchmark run).
+  bool capture_trace = false;
+  /// Record-buffer bound when capturing (drops are counted, not fatal).
+  std::size_t trace_capacity = trace::Tracer::kDefaultCapacity;
 };
 
 struct LatencyResult {
@@ -50,6 +56,12 @@ struct LatencyResult {
   double avg_us = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  /// Captured trace (empty unless Params::capture_trace).
+  std::vector<trace::Record> trace;
+  std::uint64_t trace_dropped = 0;
+  /// Engine clamp count for the run — nonzero means the run was truncated
+  /// and its numbers are suspect (surface it, don't bury it).
+  std::uint64_t clamped_events = 0;
 };
 
 struct BandwidthResult {
@@ -57,6 +69,10 @@ struct BandwidthResult {
   double mmsg_per_sec = 0.0;
   std::uint64_t messages = 0;
   sim::Time elapsed = 0;
+  /// Captured trace (empty unless Params::capture_trace).
+  std::vector<trace::Record> trace;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t clamped_events = 0;
 };
 
 /// Run a ping-pong latency test on a fresh instance of `cfg`.

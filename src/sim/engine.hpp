@@ -35,6 +35,10 @@
 #include "sim/task.hpp"
 #include "sim/units.hpp"
 
+namespace cord::trace {
+class Tracer;
+}  // namespace cord::trace
+
 namespace cord::sim {
 
 class Engine {
@@ -123,6 +127,13 @@ class Engine {
   std::uint64_t clamped_events() const { return clamped_events_; }
   /// Events currently queued (for capacity planning in benches).
   std::size_t pending_events() const { return queue_.size(); }
+
+  /// The active tracer, or nullptr when tracing is off. Every trace point
+  /// in the stack guards on this single pointer, so disabled tracing costs
+  /// one predicted branch per point; the engine itself never reads it on
+  /// the hot loop. Installed by trace::Tracer::set_enabled.
+  trace::Tracer* tracer() const { return tracer_; }
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
 
   /// Awaitable: suspend the current coroutine for `d` of virtual time.
   auto delay(Time d) {
@@ -347,6 +358,7 @@ class Engine {
   std::uint64_t next_root_id_ = 1;
   std::uint64_t events_processed_ = 0;
   std::uint64_t clamped_events_ = 0;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace cord::sim

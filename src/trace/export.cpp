@@ -1,0 +1,84 @@
+#include "trace/export.hpp"
+
+namespace cord::trace {
+
+namespace {
+
+void write_event(std::FILE* f, const Record& r, bool first) {
+  // Chrome's ts/dur unit is microseconds; virtual time is picoseconds.
+  const double ts_us = static_cast<double>(r.t) / 1e6;
+  const double dur_us = static_cast<double>(r.dur) / 1e6;
+  const std::string_view name = to_string(r.point);
+  const std::string_view cat = category(r.point);
+  if (!first) std::fputs(",\n", f);
+  if (r.dur > 0) {
+    std::fprintf(f,
+                 "{\"name\":\"%.*s\",\"cat\":\"%.*s\",\"ph\":\"X\","
+                 "\"ts\":%.6f,\"dur\":%.6f,\"pid\":%u,\"tid\":%u,",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<int>(cat.size()), cat.data(), ts_us, dur_us,
+                 static_cast<unsigned>(r.node), r.qpn);
+  } else {
+    std::fprintf(f,
+                 "{\"name\":\"%.*s\",\"cat\":\"%.*s\",\"ph\":\"i\","
+                 "\"s\":\"t\",\"ts\":%.6f,\"pid\":%u,\"tid\":%u,",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<int>(cat.size()), cat.data(), ts_us,
+                 static_cast<unsigned>(r.node), r.qpn);
+  }
+  std::fprintf(f,
+               "\"args\":{\"span\":%u,\"tenant\":%u,\"arg\":%llu,\"aux\":%u}}",
+               r.span, r.tenant, static_cast<unsigned long long>(r.arg),
+               static_cast<unsigned>(r.aux));
+}
+
+}  // namespace
+
+void write_chrome_trace(std::FILE* f, std::span<const Record> records) {
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n", f);
+  bool first = true;
+  for (const Record& r : records) {
+    write_event(f, r, first);
+    first = false;
+  }
+  std::fputs("\n]}\n", f);
+}
+
+std::string chrome_trace_json(std::span<const Record> records) {
+  // Render through a tmpfile so the FILE*-based writer is the single
+  // formatting implementation.
+  std::FILE* f = std::tmpfile();
+  if (f == nullptr) return {};
+  write_chrome_trace(f, records);
+  const long len = std::ftell(f);
+  std::string out(static_cast<std::size_t>(len), '\0');
+  std::rewind(f);
+  const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  out.resize(got);
+  std::fclose(f);
+  return out;
+}
+
+bool write_chrome_trace_file(const char* path,
+                             std::span<const Record> records) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  write_chrome_trace(f, records);
+  std::fclose(f);
+  return true;
+}
+
+void write_records_csv(std::FILE* f, std::span<const Record> records) {
+  std::fprintf(f, "t_ps,dur_ps,point,span,qpn,tenant,node,arg,aux\n");
+  for (const Record& r : records) {
+    const std::string_view name = to_string(r.point);
+    std::fprintf(f, "%lld,%lld,%.*s,%u,%u,%u,%u,%llu,%u\n",
+                 static_cast<long long>(r.t), static_cast<long long>(r.dur),
+                 static_cast<int>(name.size()), name.data(), r.span, r.qpn,
+                 r.tenant, static_cast<unsigned>(r.node),
+                 static_cast<unsigned long long>(r.arg),
+                 static_cast<unsigned>(r.aux));
+  }
+}
+
+}  // namespace cord::trace

@@ -1,0 +1,32 @@
+// Trace exporters.
+//
+// Chrome trace-event JSON: loads directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Records with a duration
+// become complete ("X") slices; instants become "i" events. pid = node,
+// tid = qpn, so each queue pair renders as its own track and a WR's span
+// chain reads top-to-bottom as post → syscall → policy → doorbell → DMA →
+// wire → completion.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace cord::trace {
+
+/// Write the stream as Chrome trace-event JSON ("traceEvents" array).
+void write_chrome_trace(std::FILE* f, std::span<const Record> records);
+
+/// Same, returned as a string (tests validate it as JSON).
+std::string chrome_trace_json(std::span<const Record> records);
+
+/// Convenience: export to a file path; returns false if the file cannot
+/// be opened.
+bool write_chrome_trace_file(const char* path, std::span<const Record> records);
+
+/// Plain CSV of the raw records (one row per record, header included).
+void write_records_csv(std::FILE* f, std::span<const Record> records);
+
+}  // namespace cord::trace

@@ -1,0 +1,43 @@
+#include "trace/trace.hpp"
+
+namespace cord::trace {
+
+std::string_view to_string(Point p) {
+  switch (p) {
+    case Point::kVerbsPostSend: return "verbs-post-send";
+    case Point::kVerbsPostRecv: return "verbs-post-recv";
+    case Point::kVerbsPollCq: return "verbs-poll-cq";
+    case Point::kSyscallEnter: return "syscall-enter";
+    case Point::kSyscallExit: return "syscall-exit";
+    case Point::kPolicyEval: return "policy-eval";
+    case Point::kWqePost: return "wqe-post";
+    case Point::kDoorbell: return "doorbell";
+    case Point::kWqeFetch: return "wqe-fetch";
+    case Point::kDmaFetch: return "dma-fetch";
+    case Point::kWireTx: return "wire-tx";
+    case Point::kDmaDeliver: return "dma-deliver";
+    case Point::kCompletion: return "completion";
+    case Point::kCqePoll: return "cqe-poll";
+    case Point::kInterrupt: return "interrupt";
+    case Point::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string_view category(Point p) {
+  switch (p) {
+    case Point::kVerbsPostSend:
+    case Point::kVerbsPostRecv:
+    case Point::kVerbsPollCq:
+      return "verbs";
+    case Point::kSyscallEnter:
+    case Point::kSyscallExit:
+    case Point::kPolicyEval:
+    case Point::kInterrupt:
+      return "os";
+    default:
+      return "nic";
+  }
+}
+
+}  // namespace cord::trace

@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace cord::verbs {
+
+namespace {
+
+std::uint8_t node8(os::Host& host) {
+  return static_cast<std::uint8_t>(host.node());
+}
+
+}  // namespace
 
 sim::Task<nic::ProtectionDomainId> Context::alloc_pd() {
   co_return co_await host_->kernel().alloc_pd(*core_);
@@ -47,6 +57,17 @@ sim::Task<> Context::destroy_qp(nic::QueuePair& qp) {
 sim::Task<int> Context::post_send(nic::QueuePair& qp, nic::SendWr wr) {
   ++dataplane_ops_;
   const os::CpuModel& m = core_->model();
+  // A WR's span chain starts here: mint the correlation id at the API
+  // boundary so every later record (syscall, policy, NIC) links back.
+  if (trace::Tracer* tr = core_->engine().tracer()) [[unlikely]] {
+    wr.trace_span = tr->new_span();
+    // Above the NIC the payload is always described by the SGE; the inline
+    // copy into the WQE happens later, inside the NIC's post_send.
+    const std::uint64_t bytes = wr.sge.length;
+    tr->record(trace::Point::kVerbsPostSend, wr.trace_span, qp.qpn(),
+               opts_.tenant, node8(*host_), bytes, 0,
+               static_cast<std::uint16_t>(wr.opcode));
+  }
   // CoRD without inline support falls back to a regular DMA'd send — the
   // missing-inline gap the paper observed on system A.
   if (wr.inline_data && opts_.mode == DataplaneMode::kCord &&
@@ -70,6 +91,10 @@ sim::Task<int> Context::post_send(nic::QueuePair& qp, nic::SendWr wr) {
 sim::Task<int> Context::post_recv(nic::QueuePair& qp, nic::RecvWr wr) {
   ++dataplane_ops_;
   const os::CpuModel& m = core_->model();
+  if (trace::Tracer* tr = core_->engine().tracer()) [[unlikely]] {
+    tr->record(trace::Point::kVerbsPostRecv, 0, qp.qpn(), opts_.tenant,
+               node8(*host_), wr.sge.length);
+  }
   co_await core_->work(m.wqe_build, os::Work::kCompute);
   if (opts_.mode == DataplaneMode::kBypass) {
     co_await core_->work(m.doorbell_mmio, os::Work::kCompute);
@@ -99,6 +124,12 @@ sim::Task<std::size_t> Context::poll_cq(nic::CompletionQueue& cq,
   // User-space poll: the CQ ring lives in user-mapped memory.
   const os::CpuModel& m = core_->model();
   const std::size_t n = cq.poll(out);
+  if (n > 0) {
+    if (trace::Tracer* tr = core_->engine().tracer()) [[unlikely]] {
+      tr->record(trace::Point::kVerbsPollCq, 0, cq.cqn(), opts_.tenant,
+                 node8(*host_), n);
+    }
+  }
   const sim::Time cost =
       n == 0 ? m.poll_miss : static_cast<sim::Time>(n) * m.poll_hit;
   co_await core_->work(cost, n == 0 ? os::Work::kSpin : os::Work::kCompute);
