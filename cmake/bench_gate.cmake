@@ -22,7 +22,8 @@
 # and investigate", not proof by itself.
 cmake_minimum_required(VERSION 3.19)  # string(JSON)
 
-foreach(var BASELINE MICRO_SIM TRACE_BENCH OUT_DIR TOLERANCE)
+foreach(var BASELINE MICRO_SIM TRACE_BENCH SHARD_BENCH SHARD_BASELINE
+        OUT_DIR TOLERANCE)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_gate: missing -D${var}")
   endif()
@@ -113,6 +114,38 @@ else()
   else()
     message(STATUS "trace overhead (engine dispatch, idle tracer vs none): "
             "${TR_BM_ScheduleDispatch_TracerIdle} vs ${TR_BM_ScheduleDispatch_NoTracer} ns — OK")
+  endif()
+endif()
+
+# --- 3. sharding-layer overhead on single-engine runs -----------------------
+# The shards:1 config of bench_shard_scaling is the classic single-engine
+# simulation driven through the ShardedEngine layer; it must not regress
+# against its committed baseline (BENCH_shard_scaling.json). Multi-shard
+# configs are NOT gated: their wall time depends on the host's core count.
+set(_shard "${OUT_DIR}/shard_scaling.json")
+execute_process(
+  COMMAND "${SHARD_BENCH}" --benchmark_format=json --benchmark_out=${_shard}
+          --benchmark_out_format=json --benchmark_min_time=0.3
+          --benchmark_filter=BM_ShardScaling/1$
+  RESULT_VARIABLE _rc OUTPUT_QUIET)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "bench_gate: bench_shard_scaling failed (rc=${_rc})")
+endif()
+
+load_bench_times("${SHARD_BASELINE}" SHBASE)
+load_bench_times("${_shard}" SHFRESH)
+if(NOT DEFINED SHBASE_BM_ShardScaling_1 OR NOT DEFINED SHFRESH_BM_ShardScaling_1)
+  list(APPEND _failures
+       "BM_ShardScaling/1 missing from baseline or fresh run")
+else()
+  check_regression("${SHBASE_BM_ShardScaling_1}" "${SHFRESH_BM_ShardScaling_1}"
+                   "${TOLERANCE}" _pct)
+  if(_pct)
+    list(APPEND _failures
+         "BM_ShardScaling/1: cpu_time ${SHFRESH_BM_ShardScaling_1} ns vs baseline ${SHBASE_BM_ShardScaling_1} ns (+${_pct}%, limit +${TOLERANCE}%)")
+  else()
+    message(STATUS "shard-layer 1-shard overhead: "
+            "${SHFRESH_BM_ShardScaling_1} vs baseline ${SHBASE_BM_ShardScaling_1} ns — OK")
   endif()
 endif()
 

@@ -1,5 +1,9 @@
 #include "core/system.hpp"
 
+#include <stdexcept>
+
+#include "trace/export.hpp"
+
 namespace cord::core {
 
 SystemConfig system_l() {
@@ -63,31 +67,105 @@ SystemConfig system_a() {
   return c;
 }
 
-System::System(SystemConfig cfg, std::size_t host_count) : cfg_(std::move(cfg)) {
+std::vector<std::uint32_t> System::make_placement(
+    std::size_t host_count, std::size_t shards,
+    std::vector<std::uint32_t> placement) {
+  if (shards == 0) throw std::invalid_argument("shards must be >= 1");
+  if (placement.empty()) {
+    placement.resize(host_count);
+    for (std::size_t i = 0; i < host_count; ++i) {
+      placement[i] = static_cast<std::uint32_t>(i * shards / host_count);
+    }
+    return placement;
+  }
+  if (placement.size() != host_count) {
+    throw std::invalid_argument("placement size != host count");
+  }
+  for (std::uint32_t s : placement) {
+    if (s >= shards) throw std::invalid_argument("placement shard out of range");
+  }
+  return placement;
+}
+
+System::System(SystemConfig cfg, std::size_t host_count, std::size_t shards,
+               std::vector<std::uint32_t> placement)
+    : cfg_(std::move(cfg)),
+      placement_(make_placement(host_count, shards, std::move(placement))),
+      sharded_(shards),
+      network_([this](fabric::NodeId n) -> sim::Engine& {
+        return sharded_.shard(placement_.at(n));
+      }) {
   for (std::size_t i = 0; i < host_count; ++i) {
     network_.add_node(static_cast<nic::NodeId>(i), cfg_.loopback_bandwidth,
                       cfg_.loopback_delay);
   }
-  for (std::size_t i = 0; i < host_count; ++i) {
-    for (std::size_t j = i + 1; j < host_count; ++j) {
-      network_.connect(static_cast<nic::NodeId>(i), static_cast<nic::NodeId>(j),
-                       cfg_.wire_bandwidth, cfg_.wire_propagation);
-    }
+  switch (cfg_.wiring) {
+    case SystemConfig::Wiring::kFullMesh:
+      for (std::size_t i = 0; i < host_count; ++i) {
+        for (std::size_t j = i + 1; j < host_count; ++j) {
+          network_.connect(static_cast<nic::NodeId>(i),
+                           static_cast<nic::NodeId>(j), cfg_.wire_bandwidth,
+                           cfg_.wire_propagation);
+        }
+      }
+      break;
+    case SystemConfig::Wiring::kPairs:
+      for (std::size_t i = 0; i + 1 < host_count; i += 2) {
+        network_.connect(static_cast<nic::NodeId>(i),
+                         static_cast<nic::NodeId>(i + 1), cfg_.wire_bandwidth,
+                         cfg_.wire_propagation);
+      }
+      break;
+  }
+  // The partition's lookahead: a cross-shard link with zero propagation
+  // would admit no parallel window at all, so reject it here (at setup)
+  // rather than deadlocking or — worse — silently reordering at run time.
+  if (shards > 1) {
+    sharded_.set_lookahead(network_.min_cross_lookahead(
+        [this](fabric::NodeId n) { return placement_.at(n); }));
   }
   for (std::size_t i = 0; i < host_count; ++i) {
     hosts_.push_back(std::make_unique<os::Host>(
-        engine_, network_, registry_, static_cast<nic::NodeId>(i), cfg_.nic,
-        cfg_.cpu, cfg_.kernel));
+        engine_for(static_cast<nic::NodeId>(i)), network_, registry_,
+        static_cast<nic::NodeId>(i), cfg_.nic, cfg_.cpu, cfg_.kernel));
+  }
+  tracers_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    tracers_.push_back(std::make_unique<trace::Tracer>(sharded_.shard(s)));
+    // Disjoint span-id sequences per shard: a merged stream keeps one
+    // correlation id per logical work request.
+    tracers_.back()->set_span_range(static_cast<std::uint32_t>(s) + 1,
+                                    static_cast<std::uint32_t>(shards));
   }
   // Engine-health gauges, read live (no per-event bookkeeping). The clamp
   // gauge is how the bench harness notices a truncated run (satellite of
   // the observability work: a clamped run is a lie unless surfaced).
   metrics_.callback_gauge("engine.events_processed", [this] {
-    return static_cast<std::int64_t>(engine_.events_processed());
+    return static_cast<std::int64_t>(sharded_.events_processed());
   });
   metrics_.callback_gauge("engine.clamped_events", [this] {
-    return static_cast<std::int64_t>(engine_.clamped_events());
+    return static_cast<std::int64_t>(sharded_.clamped_events());
   });
+}
+
+void System::set_tracing(bool on) {
+  for (auto& t : tracers_) t->set_enabled(on);
+}
+
+std::vector<trace::Record> System::merged_trace() const {
+  // Single shard: the stream as emitted (byte-identical to the tracer's
+  // snapshot; emission order is the pre-sharding trace contract).
+  if (tracers_.size() == 1) return tracers_.front()->snapshot();
+  std::vector<std::vector<trace::Record>> streams;
+  streams.reserve(tracers_.size());
+  for (const auto& t : tracers_) streams.push_back(t->snapshot());
+  return trace::merge_by_time(std::move(streams));
+}
+
+std::uint64_t System::trace_dropped() const {
+  std::uint64_t d = 0;
+  for (const auto& t : tracers_) d += t->dropped();
+  return d;
 }
 
 }  // namespace cord::core

@@ -11,13 +11,22 @@
 //              KPTI off (hardware-mitigated Meltdown), CoRD prototype
 //              lacks inline support — producing the bimodal overhead of
 //              Fig. 5a.
+//
+// Sharding: a System may partition its hosts across N sim::Engine shards
+// (one thread each) synchronized with conservative time windows; the
+// lookahead is derived automatically from the minimum propagation delay
+// of the links that cross the partition (see sim/sharded.hpp and
+// DESIGN.md §12). `shards = 1` (the default) is the exact pre-sharding
+// single-engine system.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "os/kernel.hpp"
+#include "sim/sharded.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "verbs/verbs.hpp"
@@ -37,6 +46,14 @@ struct SystemConfig {
   bool cord_inline_support = true;
   /// Default for routing poll_cq through the kernel in CoRD mode.
   bool cord_poll_via_kernel = true;
+
+  /// Fabric topology between hosts.
+  enum class Wiring {
+    kFullMesh,  ///< every host pair linked (the default, matches the paper)
+    kPairs,     ///< hosts (2k, 2k+1) linked only — a link-partitioned fabric
+                ///< with no cross-pair (and so possibly no cross-shard) links
+  };
+  Wiring wiring = Wiring::kFullMesh;
 };
 
 /// The paper's local testbed (defaults as benchmarked: Turbo disabled).
@@ -48,17 +65,44 @@ SystemConfig system_a();
 
 class System {
  public:
-  explicit System(SystemConfig cfg, std::size_t host_count = 2);
+  /// `shards` > 1 partitions the hosts across that many engines. The
+  /// default placement is a block partition (host i on shard
+  /// i * shards / host_count); pass `placement` (one shard index per
+  /// host) to override. Throws std::invalid_argument when the partition
+  /// admits no safe lookahead (a cross-shard link with zero propagation).
+  explicit System(SystemConfig cfg, std::size_t host_count = 2,
+                  std::size_t shards = 1,
+                  std::vector<std::uint32_t> placement = {});
 
-  sim::Engine& engine() { return engine_; }
+  /// Shard 0's engine — the only engine when shards == 1. Single-engine
+  /// callers (everything predating sharding) keep working unchanged.
+  sim::Engine& engine() { return sharded_.shard(0); }
+  /// The shard coordinator (1 shard degrades to plain Engine::run()).
+  sim::ShardedEngine& sharded() { return sharded_; }
+  std::size_t shard_count() const { return sharded_.shard_count(); }
+  std::uint32_t shard_of(nic::NodeId node) const { return placement_.at(node); }
+  sim::Engine& engine_for(nic::NodeId node) {
+    return sharded_.shard(placement_.at(node));
+  }
+
   fabric::Network* network_ptr() { return &network_; }
   const SystemConfig& config() const { return cfg_; }
   std::size_t host_count() const { return hosts_.size(); }
   os::Host& host(std::size_t i) { return *hosts_.at(i); }
 
-  /// The system's tracer, disabled by default (zero data-path cost until
+  /// Shard 0's tracer, disabled by default (zero data-path cost until
   /// `tracer().set_enabled(true)` arms the trace points).
-  trace::Tracer& tracer() { return tracer_; }
+  trace::Tracer& tracer() { return *tracers_.at(0); }
+  /// Per-shard tracer (records carry the shard's virtual clock; merge
+  /// with merged_trace()).
+  trace::Tracer& tracer(std::size_t shard) { return *tracers_.at(shard); }
+  /// Arm or disarm every shard's tracer.
+  void set_tracing(bool on);
+  /// All shards' records merged by virtual time (stable: ties keep shard
+  /// order, then emission order).
+  std::vector<trace::Record> merged_trace() const;
+  /// Records dropped across all shard tracers (ring overflow).
+  std::uint64_t trace_dropped() const;
 
   /// System-wide metrics: live views of engine health (events processed,
   /// event-count clamp) — distinct from each host kernel's registry.
@@ -77,12 +121,17 @@ class System {
   }
 
  private:
+  static std::vector<std::uint32_t> make_placement(
+      std::size_t host_count, std::size_t shards,
+      std::vector<std::uint32_t> placement);
+
   SystemConfig cfg_;
-  sim::Engine engine_;
-  fabric::Network network_{engine_};
+  std::vector<std::uint32_t> placement_;  // host -> shard (init before network_)
+  sim::ShardedEngine sharded_;
+  fabric::Network network_;
   nic::NicRegistry registry_;
   std::vector<std::unique_ptr<os::Host>> hosts_;
-  trace::Tracer tracer_{engine_};
+  std::vector<std::unique_ptr<trace::Tracer>> tracers_;
   trace::MetricsRegistry metrics_;
 };
 

@@ -5,9 +5,19 @@
 // systems in the paper are back-to-back two-node setups, so the fabric is
 // a single link (plus per-NIC loopback paths used when two processes on
 // the same host talk through the NIC — the paper bars shared memory).
+//
+// Sharding: when nodes are partitioned across engines, each direction's
+// serialization Resource is bound to the *source* node's engine — the
+// sender reserves its own egress wire locally, and only the arrival (a
+// timestamped callback >= propagation in the future) crosses the shard
+// boundary. The propagation delay of every cross-shard link is therefore
+// a lower bound on cross-shard latency, i.e. the conservative lookahead
+// (see sim/sharded.hpp).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -30,16 +40,21 @@ struct Path {
 
 class Link {
  public:
-  Link(sim::Engine& engine, NodeId a, NodeId b, sim::Bandwidth bw, sim::Time propagation)
+  /// `engine_a`/`engine_b` own node a's / node b's side: the a->b transmit
+  /// resource lives on a's engine, b->a on b's. Same engine when the link
+  /// does not cross shards.
+  Link(sim::Engine& engine_a, sim::Engine& engine_b, NodeId a, NodeId b,
+       sim::Bandwidth bw, sim::Time propagation)
       : a_(a),
         b_(b),
-        a_to_b_(engine),
-        b_to_a_(engine),
+        a_to_b_(engine_a),
+        b_to_a_(engine_b),
         bandwidth_(bw),
         propagation_(propagation) {}
 
   NodeId a() const { return a_; }
   NodeId b() const { return b_; }
+  sim::Time propagation() const { return propagation_; }
 
   Path path_from(NodeId src) {
     if (src == a_) return Path{&a_to_b_, bandwidth_, propagation_};
@@ -59,11 +74,20 @@ class Link {
 /// The set of links plus per-node loopback paths.
 class Network {
  public:
-  explicit Network(sim::Engine& engine) : engine_(&engine) {}
+  /// Maps a node to the engine that simulates it (shard placement).
+  using EngineOf = std::function<sim::Engine&(NodeId)>;
+
+  /// Single-engine fabric: every node on `engine`.
+  explicit Network(sim::Engine& engine)
+      : engine_of_([&engine](NodeId) -> sim::Engine& { return engine; }) {}
+
+  /// Shard-aware fabric: each node's resources bind to its own engine.
+  explicit Network(EngineOf engine_of) : engine_of_(std::move(engine_of)) {}
 
   /// Create a bidirectional link between two nodes.
   void connect(NodeId a, NodeId b, sim::Bandwidth bw, sim::Time propagation) {
-    links_[ordered(a, b)] = std::make_unique<Link>(*engine_, a, b, bw, propagation);
+    links_[ordered(a, b)] = std::make_unique<Link>(engine_of_(a), engine_of_(b),
+                                                   a, b, bw, propagation);
   }
 
   /// Register a node and configure its loopback characteristics (traffic
@@ -71,7 +95,7 @@ class Network {
   void add_node(NodeId n, sim::Bandwidth loopback_bw, sim::Time loopback_delay) {
     auto [it, inserted] = loopback_.try_emplace(n);
     if (inserted) {
-      it->second.resource = std::make_unique<sim::Resource>(*engine_);
+      it->second.resource = std::make_unique<sim::Resource>(engine_of_(n));
     }
     it->second.bandwidth = loopback_bw;
     it->second.delay = loopback_delay;
@@ -94,6 +118,23 @@ class Network {
     return links_.contains(ordered(src, dst));
   }
 
+  /// Conservative lookahead of a partition: the minimum propagation delay
+  /// among links whose endpoints `shard_of` places on different shards.
+  /// Returns sim::Engine::kNoEvent when no link crosses a shard boundary
+  /// (windows are then unbounded). A zero result means the partition is
+  /// invalid for parallel execution; ShardedEngine::set_lookahead rejects
+  /// it at setup.
+  sim::Time min_cross_lookahead(
+      const std::function<std::size_t(NodeId)>& shard_of) const {
+    sim::Time la = sim::Engine::kNoEvent;
+    for (const auto& [key, link] : links_) {
+      if (shard_of(link->a()) != shard_of(link->b())) {
+        la = std::min(la, link->propagation());
+      }
+    }
+    return la;
+  }
+
  private:
   static std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
     return a < b ? std::pair{a, b} : std::pair{b, a};
@@ -105,7 +146,7 @@ class Network {
     sim::Time delay = 0;
   };
 
-  sim::Engine* engine_;
+  EngineOf engine_of_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
   std::map<NodeId, Loopback> loopback_;
 };

@@ -156,18 +156,32 @@ void Nic::qp_set_error(QueuePair& qp) {
   qp.state_ = QpState::kError;
   qp.counters_.errors++;
   const sim::Time at = engine_->now() + cfg_.cqe_write;
+  // Coalesced flush: every flushed CQE shares one timestamp and the
+  // registrations below used to be consecutive seq numbers from one
+  // synchronous loop — no foreign event could interleave between them —
+  // so folding them into a single engine event preserves the observable
+  // CQ contents at every point in virtual time while cutting the flush
+  // of a deep queue from O(depth) events to one.
+  std::vector<std::pair<CompletionQueue*, Cqe>> flush;
+  flush.reserve(qp.rq_.size() + qp.sq_.size());
   for (const RecvWr& rwr : qp.rq_) {
-    complete_at(at, qp.recv_cq(),
-                Cqe{rwr.wr_id, WcStatus::kWorkRequestFlushed, WcOpcode::kRecv, 0,
-                    qp.qpn(), 0, 0, false});
+    flush.emplace_back(&qp.recv_cq(),
+                       Cqe{rwr.wr_id, WcStatus::kWorkRequestFlushed,
+                           WcOpcode::kRecv, 0, qp.qpn(), 0, 0, false});
   }
   qp.rq_.clear();
   for (const SendWr& swr : qp.sq_) {
-    complete_at(at, qp.send_cq(),
-                Cqe{swr.wr_id, WcStatus::kWorkRequestFlushed, wc_opcode(swr.opcode),
-                    0, qp.qpn(), 0, 0, false});
+    flush.emplace_back(&qp.send_cq(),
+                       Cqe{swr.wr_id, WcStatus::kWorkRequestFlushed,
+                           wc_opcode(swr.opcode), 0, qp.qpn(), 0, 0, false});
   }
   qp.sq_.clear();
+  if (flush.empty()) return;
+  counters_.cqe_flush_batches++;
+  counters_.cqe_flushed += flush.size();
+  engine_->call_at(at, [flush = std::move(flush)] {
+    for (const auto& [cq, cqe] : flush) cq->push(cqe);
+  });
 }
 
 int Nic::post_send(QueuePair& qp, SendWr wr) {
@@ -215,7 +229,13 @@ int Nic::post_recv(QueuePair& qp, RecvWr wr) {
 }
 
 void Nic::kick(QueuePair& qp, std::uint32_t trace_span) {
-  if (qp.sq_worker_active_) return;
+  if (qp.sq_worker_active_) {
+    // The SQ worker is already draining this queue: the post rides the
+    // in-flight burst and no doorbell write (or engine event) is modeled.
+    counters_.doorbells_coalesced++;
+    return;
+  }
+  counters_.doorbells++;
   qp.sq_worker_active_ = true;
   if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
     tr->record(trace::Point::kDoorbell, trace_span, qp.qpn(), 0,
@@ -227,6 +247,7 @@ void Nic::kick(QueuePair& qp, std::uint32_t trace_span) {
 }
 
 sim::Task<> Nic::sq_worker(std::uint32_t qpn) {
+  counters_.sq_bursts++;
   for (;;) {
     QueuePair* qp = find_qp(qpn);
     if (qp == nullptr) co_return;
@@ -234,6 +255,7 @@ sim::Task<> Nic::sq_worker(std::uint32_t qpn) {
     SendWr wr = std::move(qp->sq_.front());
     qp->sq_.pop_front();
     qp->sq_inflight_++;
+    counters_.sq_burst_wrs++;
     co_await processing_.use(cfg_.wqe_processing);
     qp = find_qp(qpn);  // revalidate after suspension
     if (qp == nullptr) co_return;
@@ -253,6 +275,62 @@ void Nic::retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts) {
     // The credit for this WR is still held; process_one does not take one.
     nic.process_one(*qp, std::move(*wr), attempts);
   }(*this, qpn, std::move(wr), rnr_attempts));
+}
+
+void Nic::retry_send_copy(std::uint32_t qpn, SendWr wr,
+                          std::uint32_t rnr_attempts) {
+  retry_send(qpn, wr_pool_.acquire(std::move(wr)), rnr_attempts);
+}
+
+Nic::SenderMeta Nic::meta_of(const SendWr& wr) {
+  return SenderMeta{wr.wr_id, wr.trace_span,
+                    static_cast<std::uint32_t>(payload_len(wr)), wr.opcode,
+                    wr.signaled};
+}
+
+void Nic::post_remote(Nic& dst, sim::Time t, sim::InlineFn fn) {
+  if (dst.engine_ == engine_) {
+    engine_->call_at(t, std::move(fn));
+  } else {
+    counters_.cross_msgs++;
+    engine_->cross_post(*dst.engine_, t, std::move(fn));
+  }
+}
+
+std::vector<Nic::ChunkArrival> Nic::schedule_chain_src(Nic& dst,
+                                                       std::uint64_t bytes,
+                                                       bool skip_src_dma) {
+  fabric::Path p = network_->path(node_, dst.node_);
+  std::vector<ChunkArrival> out;
+  out.reserve(bytes / cfg_.mtu + 1);
+  std::uint64_t left = bytes;
+  do {
+    const std::uint64_t chunk = std::min<std::uint64_t>(left, cfg_.mtu);
+    const sim::Time s =
+        skip_src_dma
+            ? engine_->now()
+            : dma_rd_.reserve(cfg_.pcie_bandwidth.time_for(chunk)) + cfg_.dma_latency;
+    const sim::Time w =
+        p.tx->reserve_at(s, p.bandwidth.time_for(chunk + cfg_.header_bytes));
+    out.push_back(ChunkArrival{w + p.propagation, static_cast<std::uint32_t>(chunk)});
+    left -= chunk;
+  } while (left > 0);
+  return out;
+}
+
+sim::Time Nic::reserve_dst_chain(const std::vector<ChunkArrival>& chunks) {
+  // Runs at the first chunk's arrival time. A reservation with
+  // earliest = chunk arrival made now is identical to the one the fused
+  // schedule_chain made at source-process time whenever this NIC's
+  // dma_wr_ has a single active writer (start = max(now, earliest,
+  // next_free), and now <= every chunk arrival here) — which holds for
+  // the request/response and streaming patterns of the test topologies.
+  sim::Time last = engine_->now();
+  for (const ChunkArrival& c : chunks) {
+    last = dma_wr_.reserve_at(c.at, cfg_.pcie_bandwidth.time_for(c.bytes)) +
+           cfg_.dma_latency;
+  }
+  return last;
 }
 
 // One record per pipeline stage of a WQE's execution, future-dated from
@@ -308,9 +386,36 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
   }
 
   const std::uint32_t sqpn = qp.qpn();
+  const bool cross = dst->engine_ != engine_;
   switch (wr.opcode) {
     case Opcode::kSend:
     case Opcode::kSendWithImm: {
+      if (cross) {
+        auto arrivals = schedule_chain_src(*dst, len, wr.inline_data);
+        const sim::Time wire_done = arrivals.back().at;
+        if (engine_->tracer() != nullptr) [[unlikely]] {
+          // delivered == wire_done here: the kDmaDeliver record is emitted
+          // by the destination shard, which knows the delivery time.
+          trace_chain(sqpn, wr, TxTimes{wire_done, wire_done}, dest.node, len);
+        }
+        if (is_ud) {
+          sender_complete(sqpn, wr, WcStatus::kSuccess,
+                          wire_done + cfg_.cqe_write);
+        }
+        // Hoisted before the closure construction moves `arrivals` out
+        // (function-argument evaluation order is unspecified).
+        const sim::Time first_at = arrivals.front().at;
+        post_remote(*dst, first_at,
+                    sim::InlineFn([dst, dqpn = dest.qpn, self = this, sqpn,
+                                   wrc = std::move(wr),
+                                   arrivals = std::move(arrivals),
+                                   rnr_attempts, is_ud]() mutable {
+                      dst->remote_send_arrival(dqpn, std::move(wrc),
+                                               std::move(arrivals), *self,
+                                               sqpn, rnr_attempts, !is_ud);
+                    }));
+        break;
+      }
       TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
       if (engine_->tracer() != nullptr) [[unlikely]] {
         trace_chain(sqpn, wr, t, dest.node, len);
@@ -331,6 +436,24 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
     }
     case Opcode::kRdmaWrite:
     case Opcode::kRdmaWriteWithImm: {
+      if (cross) {
+        auto arrivals = schedule_chain_src(*dst, len, wr.inline_data);
+        const sim::Time wire_done = arrivals.back().at;
+        if (engine_->tracer() != nullptr) [[unlikely]] {
+          trace_chain(sqpn, wr, TxTimes{wire_done, wire_done}, dest.node, len);
+        }
+        const sim::Time first_at = arrivals.front().at;  // before the move
+        post_remote(*dst, first_at,
+                    sim::InlineFn([dst, dqpn = dest.qpn, self = this, sqpn,
+                                   wrc = std::move(wr),
+                                   arrivals = std::move(arrivals),
+                                   rnr_attempts]() mutable {
+                      dst->remote_write_arrival(dqpn, std::move(wrc),
+                                                std::move(arrivals), *self,
+                                                sqpn, rnr_attempts);
+                    }));
+        break;
+      }
       TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
       if (engine_->tracer() != nullptr) [[unlikely]] {
         trace_chain(sqpn, wr, t, dest.node, len);
@@ -345,11 +468,22 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       break;
     }
     case Opcode::kRdmaRead: {
-      // Header-only read request towards the responder.
+      // Header-only read request towards the responder: only this NIC's
+      // resources are reserved, so the chain itself is shard-safe; just
+      // the arrival dispatch may cross.
       TxTimes t = schedule_chain(*dst, 0, /*skip_src_dma=*/true,
                                  /*include_dst_dma=*/false);
       if (engine_->tracer() != nullptr) [[unlikely]] {
         trace_chain(sqpn, wr, t, dest.node, 0);
+      }
+      if (cross) {
+        post_remote(*dst, t.wire_done,
+                    sim::InlineFn([dst, dqpn = dest.qpn, self = this, sqpn,
+                                   wrc = std::move(wr)]() mutable {
+                      WrRef local = dst->wr_pool_.acquire(std::move(wrc));
+                      dst->handle_read_request(dqpn, local, *self, sqpn);
+                    }));
+        break;
       }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done, [this, dst, dqpn = dest.qpn, shared, sqpn] {
@@ -365,6 +499,15 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       if (engine_->tracer() != nullptr) [[unlikely]] {
         trace_chain(sqpn, wr, t, dest.node, 0);
       }
+      if (cross) {
+        post_remote(*dst, t.wire_done,
+                    sim::InlineFn([dst, dqpn = dest.qpn, self = this, sqpn,
+                                   wrc = std::move(wr)]() mutable {
+                      WrRef local = dst->wr_pool_.acquire(std::move(wrc));
+                      dst->handle_atomic_request(dqpn, local, *self, sqpn);
+                    }));
+        break;
+      }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done, [this, dst, dqpn = dest.qpn, shared, sqpn] {
         dst->handle_atomic_request(dqpn, shared, *this, sqpn);
@@ -374,12 +517,54 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
   }
 }
 
+void Nic::remote_send_arrival(std::uint32_t local_qpn, SendWr wr,
+                              std::vector<ChunkArrival> arrivals, Nic& src,
+                              std::uint32_t src_qpn, std::uint32_t rnr_attempts,
+                              bool reliable) {
+  const sim::Time wire_done = arrivals.back().at;
+  const sim::Time delivered = reserve_dst_chain(arrivals);
+  if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+    if (delivered > wire_done) {
+      tr->record_at(wire_done, trace::Point::kDmaDeliver, wr.trace_span,
+                    src_qpn, 0, static_cast<std::uint8_t>(node_),
+                    payload_len(wr), delivered - wire_done);
+    }
+  }
+  WrRef shared = wr_pool_.acquire(std::move(wr));
+  engine_->call_at(wire_done, [this, local_qpn, shared, &src, src_qpn,
+                               delivered, rnr_attempts, reliable] {
+    handle_send_arrival(local_qpn, shared, src, src_qpn, delivered,
+                        rnr_attempts, reliable);
+  });
+}
+
+void Nic::remote_write_arrival(std::uint32_t local_qpn, SendWr wr,
+                               std::vector<ChunkArrival> arrivals, Nic& src,
+                               std::uint32_t src_qpn,
+                               std::uint32_t rnr_attempts) {
+  const sim::Time wire_done = arrivals.back().at;
+  const sim::Time delivered = reserve_dst_chain(arrivals);
+  if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+    if (delivered > wire_done) {
+      tr->record_at(wire_done, trace::Point::kDmaDeliver, wr.trace_span,
+                    src_qpn, 0, static_cast<std::uint8_t>(node_),
+                    payload_len(wr), delivered - wire_done);
+    }
+  }
+  WrRef shared = wr_pool_.acquire(std::move(wr));
+  engine_->call_at(wire_done, [this, local_qpn, shared, &src, src_qpn,
+                               delivered, rnr_attempts] {
+    handle_write_arrival(local_qpn, shared, src, src_qpn, delivered,
+                         rnr_attempts);
+  });
+}
+
 void Nic::handle_atomic_request(std::uint32_t local_qpn, WrRef wr,
                                 Nic& src, std::uint32_t src_qpn) {
   QueuePair* qp = find_qp(local_qpn);
   auto nak = [&](WcStatus status) {
-    send_ctrl(src, engine_->now(), [&src, src_qpn, wr, status] {
-      src.sender_complete(src_qpn, *wr, status,
+    send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr), status] {
+      src.sender_complete(src_qpn, m, status,
                           src.engine_->now() + src.cfg_.cqe_write);
       if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
     });
@@ -410,17 +595,22 @@ void Nic::handle_atomic_request(std::uint32_t local_qpn, WrRef wr,
   counters_.rx_msgs++;
   // Response carries the old value back; the requester DMA-writes it into
   // the caller's 8-byte buffer and completes.
+  // The requester-side memcpy + completion run on the requester's shard
+  // (post_remote); everything they need travels as plain data.
   engine_->call_at(done, [this, wr, old_value, &src, src_qpn] {
     fabric::Path p = network_->path(node_, src.node());
     const sim::Time w =
         p.tx->reserve(p.bandwidth.time_for(cfg_.ack_bytes + 8));
     const sim::Time arrive = w + p.propagation;
-    engine_->call_at(arrive, [this, wr, old_value, &src, src_qpn] {
-      std::memcpy(mem(wr->sge.addr), &old_value, 8);
-      src.sender_complete(src_qpn, *wr, WcStatus::kSuccess,
-                          src.engine_->now() + src.cfg_.ack_processing +
-                              src.cfg_.cqe_write);
-    });
+    post_remote(src, arrive,
+                sim::InlineFn([psrc = &src, src_qpn, m = meta_of(*wr),
+                               addr = wr->sge.addr, old_value] {
+                  std::memcpy(mem(addr), &old_value, 8);
+                  psrc->sender_complete(src_qpn, m, WcStatus::kSuccess,
+                                        psrc->engine_->now() +
+                                            psrc->cfg_.ack_processing +
+                                            psrc->cfg_.cqe_write);
+                }));
   });
 }
 
@@ -432,8 +622,8 @@ void Nic::handle_send_arrival(std::uint32_t local_qpn, WrRef wr,
   if (qp == nullptr || qp->state_ == QpState::kError ||
       qp->state_ == QpState::kReset || qp->state_ == QpState::kInit) {
     if (reliable) {
-      send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
-        src.sender_complete(src_qpn, *wr, WcStatus::kRemoteInvalidRequest,
+      send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr)] {
+        src.sender_complete(src_qpn, m, WcStatus::kRemoteInvalidRequest,
                             src.engine_->now() + src.cfg_.cqe_write);
         if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
       });
@@ -448,17 +638,24 @@ void Nic::handle_send_arrival(std::uint32_t local_qpn, WrRef wr,
     qp->counters_.rnr_events++;
     if (!reliable) return;  // UD: datagram dropped
     if (rnr_attempts + 1 >= src.cfg_.rnr_retries) {
-      send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
-        src.sender_complete(src_qpn, *wr, WcStatus::kRnrRetryExceeded,
+      send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr)] {
+        src.sender_complete(src_qpn, m, WcStatus::kRnrRetryExceeded,
                             src.engine_->now() + src.cfg_.cqe_write);
         if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
       });
     } else {
-      send_ctrl(src, engine_->now(), [&src, src_qpn, wr, rnr_attempts] {
-        src.engine_->call_in(src.cfg_.rnr_timer, [&src, src_qpn, wr, rnr_attempts] {
-          src.retry_send(src_qpn, wr, rnr_attempts + 1);
-        });
-      });
+      // The WR travels back by value: the retry re-enters the sender's
+      // pool on the sender's shard (WrRefs must not cross threads).
+      send_ctrl(src, engine_->now(),
+                [&src, src_qpn, wrc = SendWr(*wr), rnr_attempts]() mutable {
+                  src.engine_->call_in(
+                      src.cfg_.rnr_timer,
+                      [&src, src_qpn, wrc = std::move(wrc),
+                       rnr_attempts]() mutable {
+                        src.retry_send_copy(src_qpn, std::move(wrc),
+                                            rnr_attempts + 1);
+                      });
+                });
     }
     return;
   }
@@ -473,8 +670,8 @@ void Nic::handle_send_arrival(std::uint32_t local_qpn, WrRef wr,
                     local_qpn, src_qpn, 0, false});
     qp_set_error(*qp);
     if (reliable) {
-      send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
-        src.sender_complete(src_qpn, *wr, WcStatus::kRemoteInvalidRequest,
+      send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr)] {
+        src.sender_complete(src_qpn, m, WcStatus::kRemoteInvalidRequest,
                             src.engine_->now() + src.cfg_.cqe_write);
         if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
       });
@@ -506,8 +703,8 @@ void Nic::handle_send_arrival(std::uint32_t local_qpn, WrRef wr,
                     static_cast<std::uint8_t>(node_), len, 0, /*aux=*/1);
     }
     if (reliable) {
-      send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
-        src.sender_complete(src_qpn, *wr, WcStatus::kSuccess,
+      send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr)] {
+        src.sender_complete(src_qpn, m, WcStatus::kSuccess,
                             src.engine_->now() + src.cfg_.cqe_write);
       });
     }
@@ -520,8 +717,8 @@ void Nic::handle_write_arrival(std::uint32_t local_qpn, WrRef wr,
   QueuePair* qp = find_qp(local_qpn);
   const std::uint64_t len = payload_len(*wr);
   auto nak = [&](WcStatus status) {
-    send_ctrl(src, engine_->now(), [&src, src_qpn, wr, status] {
-      src.sender_complete(src_qpn, *wr, status,
+    send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr), status] {
+      src.sender_complete(src_qpn, m, status,
                           src.engine_->now() + src.cfg_.cqe_write);
       if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
     });
@@ -544,12 +741,16 @@ void Nic::handle_write_arrival(std::uint32_t local_qpn, WrRef wr,
       if (rnr_attempts + 1 >= src.cfg_.rnr_retries) {
         nak(WcStatus::kRnrRetryExceeded);
       } else {
-        send_ctrl(src, engine_->now(), [&src, src_qpn, wr, rnr_attempts] {
-          src.engine_->call_in(src.cfg_.rnr_timer,
-                               [&src, src_qpn, wr, rnr_attempts] {
-                                 src.retry_send(src_qpn, wr, rnr_attempts + 1);
-                               });
-        });
+        send_ctrl(src, engine_->now(),
+                  [&src, src_qpn, wrc = SendWr(*wr), rnr_attempts]() mutable {
+                    src.engine_->call_in(
+                        src.cfg_.rnr_timer,
+                        [&src, src_qpn, wrc = std::move(wrc),
+                         rnr_attempts]() mutable {
+                          src.retry_send_copy(src_qpn, std::move(wrc),
+                                              rnr_attempts + 1);
+                        });
+                  });
       }
       return;
     }
@@ -572,8 +773,8 @@ void Nic::handle_write_arrival(std::uint32_t local_qpn, WrRef wr,
                       static_cast<std::uint32_t>(len), local_qpn, src_qpn,
                       wr->imm, true});
     }
-    send_ctrl(src, engine_->now(), [&src, src_qpn, wr] {
-      src.sender_complete(src_qpn, *wr, WcStatus::kSuccess,
+    send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr)] {
+      src.sender_complete(src_qpn, m, WcStatus::kSuccess,
                           src.engine_->now() + src.cfg_.cqe_write);
     });
   });
@@ -584,8 +785,8 @@ void Nic::handle_read_request(std::uint32_t local_qpn, WrRef wr,
   QueuePair* qp = find_qp(local_qpn);
   const std::uint64_t len = wr->sge.length;
   auto nak = [&](WcStatus status) {
-    send_ctrl(src, engine_->now(), [&src, src_qpn, wr, status] {
-      src.sender_complete(src_qpn, *wr, status,
+    send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr), status] {
+      src.sender_complete(src_qpn, m, status,
                           src.engine_->now() + src.cfg_.cqe_write);
       if (QueuePair* sqp = src.find_qp(src_qpn)) src.qp_set_error(*sqp);
     });
@@ -603,6 +804,30 @@ void Nic::handle_read_request(std::uint32_t local_qpn, WrRef wr,
   // Responder streams the data back; charge responder-side processing.
   processing_.reserve(cfg_.rx_processing);
   counters_.rx_msgs++;  // the read request itself
+  if (src.engine_ != engine_) {
+    // Cross-shard requester: reserve the responder-side half of the chain
+    // here, ship the payload + per-chunk arrivals across, and let the
+    // requester finish its DMA-write reservations and the memcpy on its
+    // own shard. The payload is snapshotted at response time rather than
+    // at delivery time — indistinguishable unless the responder mutates
+    // the region mid-flight (which the verbs contract already forbids for
+    // concurrently read regions).
+    auto arrivals = schedule_chain_src(src, len, /*skip_src_dma=*/false);
+    counters_.tx_bytes += len;
+    std::vector<std::byte> data(len);
+    if (len > 0) std::memcpy(data.data(), mem(wr->remote_addr), len);
+    const sim::Time first_at = arrivals.front().at;  // before the move
+    post_remote(src, first_at,
+                sim::InlineFn([psrc = &src, src_qpn, m = meta_of(*wr),
+                               addr = wr->sge.addr, len,
+                               arrivals = std::move(arrivals),
+                               data = std::move(data)]() mutable {
+                  psrc->remote_read_response(src_qpn, m, addr, len,
+                                             std::move(arrivals),
+                                             std::move(data));
+                }));
+    return;
+  }
   TxTimes t = schedule_chain(src, len, /*skip_src_dma=*/false,
                              /*include_dst_dma=*/true);
   counters_.tx_bytes += len;
@@ -616,10 +841,27 @@ void Nic::handle_read_request(std::uint32_t local_qpn, WrRef wr,
   });
 }
 
+void Nic::remote_read_response(std::uint32_t qpn, SenderMeta m,
+                               std::uintptr_t addr, std::uint64_t len,
+                               std::vector<ChunkArrival> arrivals,
+                               std::vector<std::byte> data) {
+  const sim::Time delivered = reserve_dst_chain(arrivals);
+  engine_->call_at(delivered, [this, qpn, m, addr, len,
+                               data = std::move(data)] {
+    if (len > 0) std::memcpy(mem(addr), data.data(), len);
+    counters_.rx_bytes += len;
+    sender_complete(qpn, m, WcStatus::kSuccess,
+                    engine_->now() + cfg_.ack_processing + cfg_.cqe_write);
+  });
+}
+
 void Nic::send_ctrl(Nic& dst, sim::Time earliest, sim::InlineFn fn) {
+  // The ctrl packet serializes on this NIC's own egress direction (always
+  // shard-local); only the arrival callback may cross shards, so callers
+  // must capture nothing but plain data and `dst`-side state in `fn`.
   fabric::Path p = network_->path(node_, dst.node());
   const sim::Time w = p.tx->reserve_at(earliest, p.bandwidth.time_for(cfg_.ack_bytes));
-  engine_->call_at(w + p.propagation + dst.cfg_.ack_processing, std::move(fn));
+  post_remote(dst, w + p.propagation + dst.cfg_.ack_processing, std::move(fn));
 }
 
 Nic::TxTimes Nic::schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dma,
@@ -660,12 +902,12 @@ void Nic::complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe) {
   engine_->call_at(at, [&cq, cqe] { cq.push(cqe); });
 }
 
-void Nic::sender_complete(std::uint32_t qpn, const SendWr& wr, WcStatus status,
+void Nic::sender_complete(std::uint32_t qpn, const SenderMeta& m, WcStatus status,
                           sim::Time at) {
   engine_->call_at(std::max(engine_->now(), at),
-                   [this, qpn, wr_id = wr.wr_id, signaled = wr.signaled,
-                    op = wc_opcode(wr.opcode), span = wr.trace_span,
-                    len = static_cast<std::uint32_t>(payload_len(wr)), status] {
+                   [this, qpn, wr_id = m.wr_id, signaled = m.signaled,
+                    op = wc_opcode(m.opcode), span = m.trace_span,
+                    len = m.payload_len, status] {
                      QueuePair* qp = find_qp(qpn);
                      if (qp == nullptr) return;
                      if (qp->sq_inflight_ > 0) qp->sq_inflight_--;

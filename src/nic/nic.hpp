@@ -26,6 +26,7 @@
 //    same contract real verbs applications obey).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -70,6 +71,15 @@ struct NicCounters {
   std::uint64_t tx_bytes = 0;
   std::uint64_t rx_msgs = 0;
   std::uint64_t rx_bytes = 0;
+  // Doorbell/completion batching (see kick/sq_worker/qp_set_error):
+  std::uint64_t doorbells = 0;  ///< modeled MMIO doorbell writes
+  std::uint64_t doorbells_coalesced = 0;  ///< posts absorbed by an active SQ worker
+  std::uint64_t sq_bursts = 0;      ///< SQ worker activations (one per doorbell)
+  std::uint64_t sq_burst_wrs = 0;   ///< WRs drained across all activations
+  std::uint64_t cqe_flush_batches = 0;  ///< coalesced error-flush events
+  std::uint64_t cqe_flushed = 0;        ///< CQEs delivered by those events
+  /// Messages that crossed a shard boundary (0 on a single-engine run).
+  std::uint64_t cross_msgs = 0;
 };
 
 class Nic {
@@ -125,18 +135,56 @@ class Nic {
     sim::Time delivered = 0;  // last byte written to destination memory
   };
 
+  /// The subset of a SendWr that sender-side completion reads. Plain data:
+  /// safe to carry across shard threads, unlike WrRef (whose intrusive
+  /// refcount is deliberately non-atomic — WrRefs never leave their shard).
+  struct SenderMeta {
+    std::uint64_t wr_id = 0;
+    std::uint32_t trace_span = 0;
+    std::uint32_t payload_len = 0;
+    Opcode opcode = Opcode::kSend;
+    bool signaled = false;
+  };
+  static SenderMeta meta_of(const SendWr& wr);
+
+  /// One MTU chunk's wire arrival at the destination NIC. The source shard
+  /// computes these from its own (local) DMA-fetch + wire reservations; the
+  /// destination shard replays its DMA-write reservations from them with
+  /// the same timestamps the fused schedule_chain would have produced.
+  struct ChunkArrival {
+    sim::Time at = 0;
+    std::uint32_t bytes = 0;
+  };
+
   static std::byte* mem(std::uintptr_t addr) {
     return reinterpret_cast<std::byte*>(addr);
   }
 
-  /// Reserve the pipelined resource chain for `bytes` towards `dst`.
+  /// Reserve the pipelined resource chain for `bytes` towards `dst`
+  /// (same-shard destinations only: touches dst.dma_wr_ directly).
   TxTimes schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dma,
                          bool include_dst_dma);
+  /// Source half of schedule_chain for a cross-shard `dst`: reserves the
+  /// local DMA fetch + wire, returns per-chunk arrivals for the
+  /// destination shard to finish via reserve_dst_chain.
+  std::vector<ChunkArrival> schedule_chain_src(Nic& dst, std::uint64_t bytes,
+                                               bool skip_src_dma);
+  /// Destination half: replays the dst-DMA reservations of schedule_chain
+  /// (called at the first chunk's arrival time). Returns `delivered`.
+  sim::Time reserve_dst_chain(const std::vector<ChunkArrival>& chunks);
+
+  /// Run `fn` at `t` on dst's engine: plain call_at when dst shares this
+  /// NIC's engine (byte-identical to the pre-sharding code path), a
+  /// mailbox-routed cross_post otherwise.
+  void post_remote(Nic& dst, sim::Time t, sim::InlineFn fn);
 
   void kick(QueuePair& qp, std::uint32_t trace_span = 0);
   sim::Task<> sq_worker(std::uint32_t qpn);
   void process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts);
   void retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts);
+  /// Cross-shard RNR retry entry: the WR came back by value; re-pool it
+  /// locally and retry.
+  void retry_send_copy(std::uint32_t qpn, SendWr wr, std::uint32_t rnr_attempts);
 
   void handle_send_arrival(std::uint32_t local_qpn, WrRef wr,
                            Nic& src, std::uint32_t src_qpn, sim::Time delivered,
@@ -148,6 +196,20 @@ class Nic {
                            Nic& src, std::uint32_t src_qpn);
   void handle_atomic_request(std::uint32_t local_qpn, WrRef wr,
                              Nic& src, std::uint32_t src_qpn);
+
+  // Cross-shard entry points (run on this NIC's shard; the WR arrives by
+  // value and is re-pooled locally before entering the handlers above).
+  void remote_send_arrival(std::uint32_t local_qpn, SendWr wr,
+                           std::vector<ChunkArrival> arrivals, Nic& src,
+                           std::uint32_t src_qpn, std::uint32_t rnr_attempts,
+                           bool reliable);
+  void remote_write_arrival(std::uint32_t local_qpn, SendWr wr,
+                            std::vector<ChunkArrival> arrivals, Nic& src,
+                            std::uint32_t src_qpn, std::uint32_t rnr_attempts);
+  void remote_read_response(std::uint32_t qpn, SenderMeta m,
+                            std::uintptr_t addr, std::uint64_t len,
+                            std::vector<ChunkArrival> arrivals,
+                            std::vector<std::byte> data);
 
   /// Schedule an ACK/NAK-sized packet back to `dst` and run `fn` when it
   /// has been processed there.
@@ -161,8 +223,12 @@ class Nic {
   void complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe);
   /// Sender-side completion for wr_id on `qpn` (releases the SQ credit;
   /// emits a CQE only if the WR was signaled or failed).
-  void sender_complete(std::uint32_t qpn, const SendWr& wr, WcStatus status,
+  void sender_complete(std::uint32_t qpn, const SenderMeta& m, WcStatus status,
                        sim::Time at);
+  void sender_complete(std::uint32_t qpn, const SendWr& wr, WcStatus status,
+                       sim::Time at) {
+    sender_complete(qpn, meta_of(wr), status, at);
+  }
 
   sim::Engine* engine_;
   fabric::Network* network_;

@@ -368,6 +368,7 @@ sim::Task<> bw_client(Setup& s, const Params& p, BandwidthResult& out) {
 
 void validate(const Params& p) {
   if (p.msg_size == 0) throw std::invalid_argument("msg_size must be > 0");
+  if (p.shards == 0) throw std::invalid_argument("shards must be >= 1");
   if (p.transport == Transport::kUD && p.op != TestOp::kSend) {
     throw std::invalid_argument("UD supports only send/recv");
   }
@@ -376,56 +377,101 @@ void validate(const Params& p) {
   }
 }
 
+void arm_tracing(core::System& sys, const Params& p) {
+  if (!p.capture_trace) return;
+  for (std::size_t i = 0; i < sys.shard_count(); ++i) {
+    sys.tracer(i).set_capacity(p.trace_capacity);
+  }
+  sys.set_tracing(true);
+}
+
 }  // namespace
 
 LatencyResult run_latency(const core::SystemConfig& cfg, const Params& p) {
   validate(p);
-  core::System sys(cfg, 2);
+  core::System sys(cfg, 2, p.shards);
   LatencyResult result;
   // Lives outside the workload coroutine: straggler NIC events (in-flight
   // deliveries past the last harvested completion) still reference these
   // buffers while run() drains the queue after the workload frame is gone.
   Setup s;
-  sys.engine().spawn([](Setup& s, core::System& sys, const Params& p,
-                        LatencyResult& result) -> sim::Task<> {
-    co_await establish(s, sys, p, /*slots=*/1);
-    const int total = p.warmup + p.iterations;
-    switch (p.op) {
-      case TestOp::kSend: {
-        // Server's first receive must be posted before the first ping.
+  const int total = p.warmup + p.iterations;
+  arm_tracing(sys, p);
+  if (p.shards <= 1) {
+    sys.engine().spawn([](Setup& s, core::System& sys, const Params& p,
+                          LatencyResult& result) -> sim::Task<> {
+      co_await establish(s, sys, p, /*slots=*/1);
+      const int total = p.warmup + p.iterations;
+      switch (p.op) {
+        case TestOp::kSend: {
+          // Server's first receive must be posted before the first ping.
+          int rc = co_await s.server->post_recv(
+              *s.qp_s, {1, {uptr(s.sink_s.data()), s.recv_len, s.mr_sink_s->lkey}});
+          if (rc != 0) throw std::runtime_error("initial post_recv failed");
+          sim::Joinable srv(sys.engine(), send_lat_server(s, p, total));
+          co_await send_lat_client(s, p, result);
+          co_await srv.join();
+          break;
+        }
+        case TestOp::kWrite: {
+          sim::Joinable srv(sys.engine(), write_lat_server(s, p, total));
+          co_await write_lat_client(s, p, result);
+          co_await srv.join();
+          break;
+        }
+        case TestOp::kRead: {
+          co_await read_lat_client(s, p, result);
+          break;
+        }
+      }
+    }(s, sys, p, result));
+    sys.engine().run();
+  } else {
+    // Phase 1 — setup. Connection establishment hops between both hosts'
+    // engines, which the conservative protocol does not allow; the merged
+    // sequential mode interleaves the engines under one global clock.
+    bool setup_done = false;
+    sys.engine().spawn([](Setup& s, core::System& sys, const Params& p,
+                          bool& done) -> sim::Task<> {
+      co_await establish(s, sys, p, /*slots=*/1);
+      if (p.op == TestOp::kSend) {
         int rc = co_await s.server->post_recv(
             *s.qp_s, {1, {uptr(s.sink_s.data()), s.recv_len, s.mr_sink_s->lkey}});
         if (rc != 0) throw std::runtime_error("initial post_recv failed");
-        sim::Joinable srv(sys.engine(), send_lat_server(s, p, total));
-        co_await send_lat_client(s, p, result);
-        co_await srv.join();
-        break;
       }
-      case TestOp::kWrite: {
-        sim::Joinable srv(sys.engine(), write_lat_server(s, p, total));
-        co_await write_lat_client(s, p, result);
-        co_await srv.join();
+      done = true;
+    }(s, sys, p, setup_done));
+    sys.sharded().run_sequential();
+    if (!setup_done) throw std::runtime_error("sharded setup did not finish");
+    sys.sharded().sync_clocks();
+    // Phase 2 — the workload proper, one root per side, each pinned to its
+    // host's shard. The roots only touch their own host's state; all
+    // interaction flows through the NIC model's cross-shard messages.
+    switch (p.op) {
+      case TestOp::kSend:
+        sys.engine_for(1).spawn(send_lat_server(s, p, total));
+        sys.engine_for(0).spawn(send_lat_client(s, p, result));
         break;
-      }
-      case TestOp::kRead: {
-        co_await read_lat_client(s, p, result);
+      case TestOp::kWrite:
+        sys.engine_for(1).spawn(write_lat_server(s, p, total));
+        sys.engine_for(0).spawn(write_lat_client(s, p, result));
         break;
-      }
+      case TestOp::kRead:
+        sys.engine_for(0).spawn(read_lat_client(s, p, result));
+        break;
     }
-    result.avg_us = result.latency_us.mean();
-    result.p50_us = result.latency_us.percentile(50);
-    result.p99_us = result.latency_us.percentile(99);
-  }(s, sys, p, result));
-  if (p.capture_trace) {
-    sys.tracer().set_capacity(p.trace_capacity);
-    sys.tracer().set_enabled(true);
+    sys.sharded().run();
   }
-  sys.engine().run();
+  result.avg_us = result.latency_us.mean();
+  result.p50_us = result.latency_us.percentile(50);
+  result.p99_us = result.latency_us.percentile(99);
   if (p.capture_trace) {
-    result.trace = sys.tracer().snapshot();
-    result.trace_dropped = sys.tracer().dropped();
+    result.trace = sys.merged_trace();
+    result.trace_dropped = sys.trace_dropped();
   }
-  result.clamped_events = sys.engine().clamped_events();
+  result.clamped_events = sys.sharded().clamped_events();
+  result.shard_windows = sys.sharded().stats().windows;
+  result.shard_messages = sys.sharded().stats().messages;
   if (result.latency_us.count() == 0) {
     throw std::runtime_error("latency test produced no samples");
   }
@@ -434,58 +480,110 @@ LatencyResult run_latency(const core::SystemConfig& cfg, const Params& p) {
 
 BandwidthResult run_bandwidth(const core::SystemConfig& cfg, const Params& p) {
   validate(p);
-  core::System sys(cfg, 2);
+  core::System sys(cfg, 2, p.shards);
   BandwidthResult result;
   // Outlives the coroutine frame; see run_latency.
   Setup s;
-  sys.engine().spawn([](Setup& s, core::System& sys, const Params& p,
-                        BandwidthResult& result) -> sim::Task<> {
-    // Deep RQ for small messages; for large ones cap the sink region at
-    // 256 MiB — the wire serializes large messages so far apart that a
-    // shallow RQ never underruns (reposting is ns, wire gaps are us).
-    const std::uint64_t by_mem =
-        std::max<std::uint64_t>(8, (256ull << 20) / std::max<std::size_t>(p.msg_size, 1));
-    const auto slots = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-        std::max<std::uint32_t>(2 * p.tx_depth, 512), by_mem));
-    co_await establish(s, sys, p, slots);
-    if (p.op == TestOp::kSend) {
-      // Pre-fill the server RQ.
-      for (std::uint32_t i = 0; i < slots; ++i) {
-        int rc = co_await s.server->post_recv(
-            *s.qp_s, {1, {uptr(sink_slot(s.sink_s, s.recv_len, i)), s.recv_len,
-                          s.mr_sink_s->lkey}});
-        if (rc != 0) throw std::runtime_error("prefill post_recv failed");
+  // Deep RQ for small messages; for large ones cap the sink region at
+  // 256 MiB — the wire serializes large messages so far apart that a
+  // shallow RQ never underruns (reposting is ns, wire gaps are us).
+  const std::uint64_t by_mem =
+      std::max<std::uint64_t>(8, (256ull << 20) / std::max<std::size_t>(p.msg_size, 1));
+  const auto slots = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::max<std::uint32_t>(2 * p.tx_depth, 512), by_mem));
+  arm_tracing(sys, p);
+  if (p.shards <= 1) {
+    sys.engine().spawn([](Setup& s, core::System& sys, const Params& p,
+                          std::uint32_t slots, BandwidthResult& result) -> sim::Task<> {
+      co_await establish(s, sys, p, slots);
+      if (p.op == TestOp::kSend) {
+        // Pre-fill the server RQ.
+        for (std::uint32_t i = 0; i < slots; ++i) {
+          int rc = co_await s.server->post_recv(
+              *s.qp_s, {1, {uptr(sink_slot(s.sink_s, s.recv_len, i)), s.recv_len,
+                            s.mr_sink_s->lkey}});
+          if (rc != 0) throw std::runtime_error("prefill post_recv failed");
+        }
+        bool client_done = false;
+        sim::Joinable srv(sys.engine(),
+                          send_bw_server(s, p, p.iterations,
+                                         s.is_ud ? &client_done : nullptr));
+        co_await bw_client(s, p, result);
+        client_done = true;
+        co_await srv.join();
+        // Integrity: the last delivered slot must carry the pattern.
+        if (s.sink_s[s.is_ud ? nic::kGrhBytes : 0] != kPattern) {
+          throw std::runtime_error("payload integrity check failed");
+        }
+      } else {
+        co_await bw_client(s, p, result);
+        std::vector<std::byte>& landing =
+            p.op == TestOp::kWrite ? s.sink_s : s.sink_c;
+        if (landing[0] != kPattern) {
+          throw std::runtime_error("payload integrity check failed");
+        }
       }
-      bool client_done = false;
-      sim::Joinable srv(sys.engine(),
-                        send_bw_server(s, p, p.iterations,
-                                       s.is_ud ? &client_done : nullptr));
+    }(s, sys, p, slots, result));
+    sys.engine().run();
+  } else {
+    // Phase 1 — setup + RQ prefill in merged sequential mode.
+    bool setup_done = false;
+    sys.engine().spawn([](Setup& s, core::System& sys, const Params& p,
+                          std::uint32_t slots, bool& done) -> sim::Task<> {
+      co_await establish(s, sys, p, slots);
+      if (p.op == TestOp::kSend) {
+        for (std::uint32_t i = 0; i < slots; ++i) {
+          int rc = co_await s.server->post_recv(
+              *s.qp_s, {1, {uptr(sink_slot(s.sink_s, s.recv_len, i)), s.recv_len,
+                            s.mr_sink_s->lkey}});
+          if (rc != 0) throw std::runtime_error("prefill post_recv failed");
+        }
+      }
+      done = true;
+    }(s, sys, p, slots, setup_done));
+    sys.sharded().run_sequential();
+    if (!setup_done) throw std::runtime_error("sharded setup did not finish");
+    sys.sharded().sync_clocks();
+    // Phase 2 — client root on host 0's shard, server root (send tests) on
+    // host 1's. `client_done` is only ever touched by the server's shard:
+    // the client announces completion with a cross-shard message honoring
+    // the lookahead, so the flag flips at a deterministic virtual time.
+    bool client_done = false;
+    if (p.op == TestOp::kSend) {
+      sys.engine_for(1).spawn(send_bw_server(s, p, p.iterations,
+                                             s.is_ud ? &client_done : nullptr));
+    }
+    sys.engine_for(0).spawn([](Setup& s, core::System& sys, const Params& p,
+                               BandwidthResult& result,
+                               bool& client_done) -> sim::Task<> {
       co_await bw_client(s, p, result);
-      client_done = true;
-      co_await srv.join();
-      // Integrity: the last delivered slot must carry the pattern.
+      if (p.op == TestOp::kSend && s.is_ud) {
+        sim::Engine& ce = sys.engine_for(0);
+        ce.cross_post(sys.engine_for(1), ce.now() + sys.sharded().lookahead(),
+                      sim::InlineFn([&client_done] { client_done = true; }));
+      }
+    }(s, sys, p, result, client_done));
+    sys.sharded().run();
+    // Integrity checks (same assertions as the single-engine path).
+    if (p.op == TestOp::kSend) {
       if (s.sink_s[s.is_ud ? nic::kGrhBytes : 0] != kPattern) {
         throw std::runtime_error("payload integrity check failed");
       }
     } else {
-      co_await bw_client(s, p, result);
       std::vector<std::byte>& landing =
           p.op == TestOp::kWrite ? s.sink_s : s.sink_c;
       if (landing[0] != kPattern) {
         throw std::runtime_error("payload integrity check failed");
       }
     }
-  }(s, sys, p, result));
-  if (p.capture_trace) {
-    sys.tracer().set_capacity(p.trace_capacity);
-    sys.tracer().set_enabled(true);
   }
-  sys.engine().run();
   if (p.capture_trace) {
-    result.trace = sys.tracer().snapshot();
-    result.trace_dropped = sys.tracer().dropped();
+    result.trace = sys.merged_trace();
+    result.trace_dropped = sys.trace_dropped();
   }
-  result.clamped_events = sys.engine().clamped_events();
+  result.clamped_events = sys.sharded().clamped_events();
+  result.shard_windows = sys.sharded().stats().windows;
+  result.shard_messages = sys.sharded().stats().messages;
   if (result.messages == 0) {
     throw std::runtime_error("bandwidth test produced no result");
   }

@@ -42,6 +42,12 @@ struct Params {
   verbs::ContextOptions client{};
   verbs::ContextOptions server{};
   Knobs knobs{};
+  /// Simulation shards (engine threads). 1 = the classic single-engine
+  /// run; N > 1 partitions client and server across engines synchronized
+  /// with conservative time windows (core::System sharding). Results are
+  /// identical — the sharded run is checked against the single-engine
+  /// goldens in the test suite.
+  std::size_t shards = 1;
   /// Arm the system tracer for the run and return the captured records in
   /// the result (off by default: tracing must never tax a benchmark run).
   bool capture_trace = false;
@@ -62,6 +68,9 @@ struct LatencyResult {
   /// Engine clamp count for the run — nonzero means the run was truncated
   /// and its numbers are suspect (surface it, don't bury it).
   std::uint64_t clamped_events = 0;
+  /// Sharded-run sync statistics (zero for single-engine runs).
+  std::uint64_t shard_windows = 0;
+  std::uint64_t shard_messages = 0;
 };
 
 struct BandwidthResult {
@@ -73,6 +82,9 @@ struct BandwidthResult {
   std::vector<trace::Record> trace;
   std::uint64_t trace_dropped = 0;
   std::uint64_t clamped_events = 0;
+  /// Sharded-run sync statistics (zero for single-engine runs).
+  std::uint64_t shard_windows = 0;
+  std::uint64_t shard_messages = 0;
 };
 
 /// Run a ping-pong latency test on a fresh instance of `cfg`.

@@ -25,6 +25,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <type_traits>
 #include <unordered_map>
@@ -40,6 +41,8 @@ class Tracer;
 }  // namespace cord::trace
 
 namespace cord::sim {
+
+class ShardedEngine;
 
 class Engine {
  public:
@@ -118,6 +121,26 @@ class Engine {
     return now_;
   }
 
+  /// Sentinel for "no queued event" (see next_event_time()).
+  static constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+  /// Timestamp of the earliest queued event, or kNoEvent when idle. Used
+  /// by the shard coordinator to compute conservative time windows; never
+  /// read on the hot loop.
+  Time next_event_time() const {
+    return queue_.empty() ? kNoEvent : queue_.top().t;
+  }
+
+  /// Sharding context (sim/sharded.hpp). Null for a standalone engine;
+  /// set by ShardedEngine, which owns its member engines. Cold data: the
+  /// hot loop never touches it.
+  ShardedEngine* coordinator() const { return coordinator_; }
+  std::uint32_t shard_index() const { return shard_index_; }
+  /// Schedule `fn` at absolute virtual time `t` on `dst`, which may belong
+  /// to another shard (thread). Requires both engines to share a
+  /// coordinator; delivery is deferred to a conservative window edge when
+  /// the shards run in parallel. Defined in sharded.cpp.
+  void cross_post(Engine& dst, Time t, InlineFn fn);
+
   /// Number of detached roots that have not finished yet.
   std::size_t live_roots() const { return roots_.size(); }
   /// Total events processed (for the engine microbenchmarks).
@@ -161,6 +184,23 @@ class Engine {
 
  private:
   friend void detail::notify_root_done(Engine&, std::uint64_t) noexcept;
+  friend class ShardedEngine;
+
+  /// Advance the clock without dispatching anything. Used by the shard
+  /// coordinator for global-clock semantics in merged (sequential) mode
+  /// and to align shard clocks at window edges; never moves time backward.
+  void advance_now(Time t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Pop and dispatch exactly one event (requires !queue_.empty()).
+  /// Coordinator-only: the merged sequential mode interleaves engines
+  /// event-by-event in global (t, shard) order.
+  void step_one() {
+    const Item item = queue_.pop();
+    now_ = item.t;
+    dispatch(item.payload);
+  }
 
   static constexpr std::uintptr_t kFnTag = 1;
 
@@ -359,6 +399,8 @@ class Engine {
   std::uint64_t events_processed_ = 0;
   std::uint64_t clamped_events_ = 0;
   trace::Tracer* tracer_ = nullptr;
+  ShardedEngine* coordinator_ = nullptr;
+  std::uint32_t shard_index_ = 0;
 };
 
 }  // namespace cord::sim

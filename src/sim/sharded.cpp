@@ -1,0 +1,245 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace cord::sim {
+
+ShardedEngine::ShardedEngine(std::size_t shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("ShardedEngine: shard_count must be >= 1");
+  }
+  engines_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto e = std::make_unique<Engine>();
+    e->coordinator_ = this;
+    e->shard_index_ = static_cast<std::uint32_t>(i);
+    engines_.push_back(std::move(e));
+  }
+  mail_.resize(shard_count * shard_count);
+  stats_.barrier_wait_ns.assign(shard_count, 0);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::set_lookahead(Time la) {
+  if (shard_count() > 1 && la <= 0) {
+    throw std::invalid_argument(
+        "ShardedEngine: non-positive lookahead (" + std::to_string(la) +
+        " ps) with " + std::to_string(shard_count()) +
+        " shards — a cross-shard link with zero propagation delay admits "
+        "no safe conservative window");
+  }
+  lookahead_ = la;
+}
+
+void ShardedEngine::post(Engine& src, Engine& dst, Time t, InlineFn fn) {
+  if (mode_ != Mode::kParallel) {
+    // Single-threaded phases (merged setup, or user code between runs):
+    // deliver directly. call_at clamps t < dst.now(), which cannot happen
+    // here because the merged mode keeps all clocks equal.
+    dst.call_at(t, std::move(fn));
+    return;
+  }
+  if (t < src.now() + lookahead_) {
+    throw std::logic_error(
+        "ShardedEngine: torn window — cross-shard event for t=" +
+        std::to_string(t) + " ps posted at src time " +
+        std::to_string(src.now()) + " ps violates the declared lookahead of " +
+        std::to_string(lookahead_) +
+        " ps (a cross-shard link is faster than the lookahead claims)");
+  }
+  mail_[src.shard_index_ * shard_count() + dst.shard_index_].push_back(
+      Msg{t, std::move(fn)});
+}
+
+Time ShardedEngine::min_next_event() const {
+  Time t = Engine::kNoEvent;
+  for (const auto& e : engines_) t = std::min(t, e->next_event_time());
+  return t;
+}
+
+void ShardedEngine::sync_clocks() {
+  Time m = 0;
+  for (const auto& e : engines_) m = std::max(m, e->now_);
+  for (const auto& e : engines_) e->advance_now(m);
+}
+
+Time ShardedEngine::run_sequential() {
+  mode_ = Mode::kSequential;
+  for (;;) {
+    // Next event globally, ties broken by shard index: a deterministic
+    // total order (t, shard, intra-shard seq) over all events.
+    Engine* best = nullptr;
+    Time best_t = Engine::kNoEvent;
+    for (const auto& e : engines_) {
+      const Time t = e->next_event_time();
+      if (t < best_t) {
+        best_t = t;
+        best = e.get();
+      }
+    }
+    if (best == nullptr) break;
+    // Global-clock semantics: every engine observes the same "now", so a
+    // coroutine that hops shards mid-await (e.g. connection setup touching
+    // both endpoints) computes the same timestamps as on one engine.
+    for (const auto& e : engines_) e->advance_now(best_t);
+    best->step_one();
+    ++stats_.sequential_events;
+  }
+  mode_ = Mode::kIdle;
+  sync_clocks();
+  return engines_.empty() ? 0 : engines_[0]->now_;
+}
+
+void ShardedEngine::drain_mailboxes() {
+  const std::size_t n = shard_count();
+  // Deterministic destination seq assignment: for each destination, merge
+  // the per-source mailboxes by (t, source shard, posting order). This is
+  // a function of simulation state only — wall-clock thread interleaving
+  // cannot reorder it.
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    // Index triples into the (src-major) mailboxes for this destination.
+    struct Ref {
+      Time t;
+      std::uint32_t src;
+      std::uint32_t pos;
+    };
+    std::vector<Ref> order;
+    for (std::size_t src = 0; src < n; ++src) {
+      auto& box = mail_[src * n + dst];
+      for (std::size_t i = 0; i < box.size(); ++i) {
+        order.push_back(Ref{box[i].t, static_cast<std::uint32_t>(src),
+                            static_cast<std::uint32_t>(i)});
+      }
+    }
+    if (order.empty()) continue;
+    std::sort(order.begin(), order.end(), [](const Ref& a, const Ref& b) {
+      if (a.t != b.t) return a.t < b.t;
+      if (a.src != b.src) return a.src < b.src;
+      return a.pos < b.pos;
+    });
+    Engine& d = *engines_[dst];
+    for (const Ref& r : order) {
+      Msg& m = mail_[r.src * n + dst][r.pos];
+      d.call_at(m.t, std::move(m.fn));
+    }
+    stats_.messages += order.size();
+    for (std::size_t src = 0; src < n; ++src) mail_[src * n + dst].clear();
+  }
+}
+
+Time ShardedEngine::run() {
+  stats_.windows = 0;
+  stats_.messages = 0;
+  std::fill(stats_.barrier_wait_ns.begin(), stats_.barrier_wait_ns.end(), 0);
+  if (shard_count() == 1) return engines_[0]->run();
+  return run_parallel();
+}
+
+Time ShardedEngine::run_parallel() {
+  const std::size_t n = shard_count();
+  mode_ = Mode::kParallel;
+  stop_ = false;
+  error_ = nullptr;
+
+  // Two barriers per window: `start` publishes window_end_ (and stop_) to
+  // the workers; `finish` publishes queue/mailbox state back to the
+  // coordinator. All shared state below is touched only in the exclusive
+  // phases these barriers carve out.
+  std::barrier<> start(static_cast<std::ptrdiff_t>(n) + 1);
+  std::barrier<> finish(static_cast<std::ptrdiff_t>(n) + 1);
+  std::vector<std::exception_ptr> worker_error(n);
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.emplace_back([this, i, &start, &finish, &worker_error] {
+      Engine& e = *engines_[i];
+      for (;;) {
+        start.arrive_and_wait();
+        if (stop_) return;
+        try {
+          // Events strictly inside [.., window_end_) are safe; run_until
+          // is inclusive, hence - 1. It also parks now() at the window
+          // edge so the next window's cross-shard arrivals never clamp.
+          e.run_until(window_end_ - 1);
+        } catch (...) {
+          worker_error[i] = std::current_exception();
+        }
+        const auto idle0 = std::chrono::steady_clock::now();
+        finish.arrive_and_wait();
+        stats_.barrier_wait_ns[i] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - idle0)
+                .count());
+      }
+    });
+  }
+
+  for (;;) {
+    const Time next = min_next_event();
+    if (next == Engine::kNoEvent || error_) {
+      stop_ = true;
+      start.arrive_and_wait();  // release workers into their exit path
+      break;
+    }
+    // Window [next, next + lookahead]: any cross-shard effect of an event
+    // at t >= next lands at t + lookahead > window end, so in-window
+    // execution is causally closed per shard.
+    window_end_ = (next >= kUnboundedLookahead || lookahead_ >= kUnboundedLookahead)
+                      ? Engine::kNoEvent
+                      : next + lookahead_;
+    start.arrive_and_wait();
+    finish.arrive_and_wait();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (worker_error[i] && !error_) error_ = worker_error[i];
+    }
+    drain_mailboxes();
+    ++stats_.windows;
+  }
+  for (auto& w : workers) w.join();
+  mode_ = Mode::kIdle;
+
+  if (error_) std::rethrow_exception(error_);
+  Time m = 0;
+  for (const auto& e : engines_) m = std::max(m, e->now_);
+  return m;
+}
+
+std::uint64_t ShardedEngine::events_processed() const {
+  std::uint64_t s = 0;
+  for (const auto& e : engines_) s += e->events_processed();
+  return s;
+}
+
+std::uint64_t ShardedEngine::clamped_events() const {
+  std::uint64_t s = 0;
+  for (const auto& e : engines_) s += e->clamped_events();
+  return s;
+}
+
+std::size_t ShardedEngine::live_roots() const {
+  std::size_t s = 0;
+  for (const auto& e : engines_) s += e->live_roots();
+  return s;
+}
+
+void Engine::cross_post(Engine& dst, Time t, InlineFn fn) {
+  if (&dst == this) {
+    call_at(t, std::move(fn));
+    return;
+  }
+  if (coordinator_ == nullptr || dst.coordinator_ != coordinator_) {
+    throw std::logic_error(
+        "Engine::cross_post: engines do not share a ShardedEngine");
+  }
+  coordinator_->post(*this, dst, t, std::move(fn));
+}
+
+}  // namespace cord::sim

@@ -12,6 +12,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_arena.hpp"
+
 namespace cord::sim {
 
 class Engine;
@@ -24,6 +26,16 @@ struct PromiseBase {
   Engine* owner_engine = nullptr;
   std::uint64_t root_id = 0;
   std::exception_ptr exception;
+
+  /// Coroutine frames allocate from the slab arena (sim/frame_arena.hpp):
+  /// class-scope allocation functions on the promise are picked up by the
+  /// coroutine machinery for the whole frame, de-mallocing spawn-heavy
+  /// workloads. The sized delete is required — frames are freed with the
+  /// exact size they were allocated with.
+  static void* operator new(std::size_t n) { return frame_alloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    frame_free(p, n);
+  }
 };
 
 void notify_root_done(Engine& engine, std::uint64_t root_id) noexcept;

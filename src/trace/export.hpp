@@ -29,4 +29,17 @@ bool write_chrome_trace_file(const char* path, std::span<const Record> records);
 /// Plain CSV of the raw records (one row per record, header included).
 void write_records_csv(std::FILE* f, std::span<const Record> records);
 
+/// Merge per-shard streams into one, ordered by virtual time. Stable:
+/// records with equal timestamps keep shard order, then emission order
+/// within a shard.
+std::vector<Record> merge_by_time(std::vector<std::vector<Record>> streams);
+
+/// Shard-invariant normal form of a trace. A sharded run emits the same
+/// *set* of records as the single-engine run, but tie-order at equal
+/// timestamps and span-id assignment (per-tracer counters) differ. This
+/// sorts by every field except span, then renumbers spans by order of
+/// first appearance — two runs of the same simulation memcmp equal after
+/// canonicalization regardless of shard count.
+std::vector<Record> canonical_trace(std::vector<Record> records);
+
 }  // namespace cord::trace

@@ -1,0 +1,105 @@
+#include "trace/flame.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cord::trace {
+
+namespace {
+
+const char* unit_name(FlameEntry::Unit u) {
+  switch (u) {
+    case FlameEntry::Unit::kVirtualPs: return "virtual_ps";
+    case FlameEntry::Unit::kSamples: return "samples";
+    case FlameEntry::Unit::kWallNs: return "wall_ns";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FlameView build_flame(const std::vector<std::vector<Record>>& per_shard,
+                      const sim::ShardStats* sync) {
+  FlameView v;
+  std::map<std::pair<std::string, FlameEntry::Unit>, std::uint64_t> agg;
+  for (std::size_t shard = 0; shard < per_shard.size(); ++shard) {
+    const std::string prefix = "shard" + std::to_string(shard) + ";";
+    for (const Record& r : per_shard[shard]) {
+      const std::string stack = prefix + std::string(category(r.point)) + ";" +
+                                std::string(to_string(r.point));
+      if (r.dur > 0) {
+        agg[{stack, FlameEntry::Unit::kVirtualPs}] +=
+            static_cast<std::uint64_t>(r.dur);
+        v.total_virtual_ps += static_cast<std::uint64_t>(r.dur);
+      } else {
+        agg[{stack, FlameEntry::Unit::kSamples}] += 1;
+        v.total_samples += 1;
+      }
+    }
+    if (sync != nullptr && shard < sync->barrier_wait_ns.size() &&
+        sync->barrier_wait_ns[shard] > 0) {
+      agg[{prefix + "sync;barrier_idle", FlameEntry::Unit::kWallNs}] +=
+          sync->barrier_wait_ns[shard];
+      v.total_barrier_wall_ns += sync->barrier_wait_ns[shard];
+    }
+  }
+  v.entries.reserve(agg.size());
+  for (const auto& [key, weight] : agg) {
+    v.entries.push_back(FlameEntry{key.first, weight, key.second});
+  }
+  return v;
+}
+
+std::string flame_folded(const FlameView& v) {
+  std::string out;
+  for (const FlameEntry& e : v.entries) {
+    out += e.stack;
+    out += ' ';
+    out += std::to_string(e.weight);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_flame(const FlameView& v, std::size_t width) {
+  std::string out;
+  const FlameEntry::Unit units[] = {FlameEntry::Unit::kVirtualPs,
+                                    FlameEntry::Unit::kSamples,
+                                    FlameEntry::Unit::kWallNs};
+  for (FlameEntry::Unit u : units) {
+    std::uint64_t max_w = 0;
+    std::size_t max_stack = 0;
+    for (const FlameEntry& e : v.entries) {
+      if (e.unit != u) continue;
+      max_w = std::max(max_w, e.weight);
+      max_stack = std::max(max_stack, e.stack.size());
+    }
+    if (max_w == 0) continue;
+    out += "== ";
+    out += unit_name(u);
+    out += " ==\n";
+    for (const FlameEntry& e : v.entries) {
+      if (e.unit != u) continue;
+      const auto bar = static_cast<std::size_t>(
+          static_cast<double>(e.weight) / static_cast<double>(max_w) *
+          static_cast<double>(width));
+      out += e.stack;
+      out.append(max_stack - e.stack.size() + 2, ' ');
+      out.append(std::max<std::size_t>(bar, 1), '#');
+      out += ' ';
+      out += std::to_string(e.weight);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void write_flame_csv(std::FILE* f, const FlameView& v) {
+  std::fprintf(f, "stack,unit,weight\n");
+  for (const FlameEntry& e : v.entries) {
+    std::fprintf(f, "%s,%s,%llu\n", e.stack.c_str(), unit_name(e.unit),
+                 static_cast<unsigned long long>(e.weight));
+  }
+}
+
+}  // namespace cord::trace

@@ -1,0 +1,58 @@
+// Flame view: where did the simulated time (and the simulator's own sync
+// overhead) go?
+//
+// Aggregates a run's trace records into folded stacks keyed by shard —
+// `shard0;nic;wire_tx 123456` — the input format of standard flamegraph
+// tooling, plus a self-contained text bar rendering for terminals.
+//
+// Two kinds of weight coexist and are never summed together:
+//  * span records (dur > 0) weigh their *virtual-time* duration in
+//    picoseconds — the simulated cost of wire occupancy, DMA, policy
+//    evaluation, ...;
+//  * instant records weigh 1 sample each (post/doorbell/completion
+//    counts);
+//  * sync-barrier idle — shards blocked at the conservative window edge
+//    waiting for stragglers — is *wall-clock* nanoseconds taken from
+//    ShardStats, reported under its own unit so real simulator overhead
+//    is never conflated with simulated time.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/sharded.hpp"
+#include "trace/trace.hpp"
+
+namespace cord::trace {
+
+struct FlameEntry {
+  enum class Unit { kVirtualPs, kSamples, kWallNs };
+  std::string stack;  ///< "shard<N>;<category>;<point>" (";"-folded)
+  std::uint64_t weight = 0;
+  Unit unit = Unit::kVirtualPs;
+};
+
+struct FlameView {
+  std::vector<FlameEntry> entries;  ///< sorted by stack string
+  std::uint64_t total_virtual_ps = 0;
+  std::uint64_t total_samples = 0;
+  std::uint64_t total_barrier_wall_ns = 0;
+};
+
+/// Build the view from per-shard record streams (index = shard). Pass the
+/// run's ShardStats to include per-shard "sync;barrier_idle" entries.
+FlameView build_flame(const std::vector<std::vector<Record>>& per_shard,
+                      const sim::ShardStats* sync = nullptr);
+
+/// Folded-stack text, one "stack weight" line per entry (flamegraph.pl
+/// and speedscope both ingest this).
+std::string flame_folded(const FlameView& v);
+
+/// Terminal rendering: per-unit sections with proportional bars.
+std::string render_flame(const FlameView& v, std::size_t width = 48);
+
+/// CSV: stack,unit,weight.
+void write_flame_csv(std::FILE* f, const FlameView& v);
+
+}  // namespace cord::trace
