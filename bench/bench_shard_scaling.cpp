@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fabric/link.hpp"
+#include "fabric/topology.hpp"
 #include "nic/nic.hpp"
 #include "sim/sharded.hpp"
 
@@ -140,6 +141,114 @@ void BM_ShardScaling(benchmark::State& state) {
       std::max(1u, std::thread::hardware_concurrency()));
 }
 BENCHMARK(BM_ShardScaling)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// The routed counterpart: a 4-rack x 2-host leaf-spine fabric with every
+/// stream crossing the spine (client in racks 0/1, server in racks 2/3),
+/// rack-aligned block partition, per-pair lookahead matrix. Unlike the
+/// pair fabric this exercises multi-hop reservations, the boundary-split
+/// arrival path and bounded conservative windows.
+struct RackFabric {
+  static constexpr std::size_t kRacks = 4;
+  static constexpr std::size_t kHostsPerRack = 2;
+  static constexpr std::size_t kHosts = kRacks * kHostsPerRack;
+  static constexpr std::size_t kStreams = kHosts / 2;  // i -> i + kHosts/2
+
+  sim::ShardedEngine se;
+  fabric::RackConfig rack;
+  fabric::Network net;
+  nic::NicRegistry reg;
+  std::vector<std::unique_ptr<nic::Nic>> nics;
+  std::vector<std::vector<std::byte>> bufs;
+
+  explicit RackFabric(std::size_t shards)
+      : se(shards), net([this](fabric::NodeId n) -> sim::Engine& {
+          return se.shard(shard_of(n));
+        }) {
+    rack.racks = kRacks;
+    rack.hosts_per_rack = kHostsPerRack;
+    for (std::size_t n = 0; n < kHosts; ++n) {
+      net.add_node(static_cast<fabric::NodeId>(n),
+                   sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
+    }
+    fabric::build_rack(net, rack);
+    se.set_lookahead(net.cross_lookahead_matrix(
+        [this](fabric::NodeId n) { return shard_of(n); }, shards));
+    for (std::size_t n = 0; n < kHosts; ++n) {
+      nics.push_back(std::make_unique<nic::Nic>(
+          se.shard(shard_of(static_cast<fabric::NodeId>(n))), net, reg,
+          static_cast<nic::NodeId>(n), nic::NicConfig{}));
+    }
+    bufs.resize(kHosts);
+    for (std::size_t k = 0; k < kStreams; ++k) connect_stream(k);
+  }
+
+  /// Rack-aligned block partition: rack r on shard r * shards / kRacks;
+  /// each ToR rides its rack's shard, the spine shard 0 (it drives no hop
+  /// resource either way).
+  std::size_t shard_of(fabric::NodeId n) const {
+    if (n < kHosts) return rack.rack_of(n) * se.shard_count() / kRacks;
+    if (n < kHosts + kRacks) return (n - kHosts) * se.shard_count() / kRacks;
+    return 0;  // spine
+  }
+
+  void connect_stream(std::size_t k) {
+    const auto an = static_cast<nic::NodeId>(k);
+    const auto bn = static_cast<nic::NodeId>(k + kHosts / 2);
+    nic::Nic& a = *nics[an];
+    nic::Nic& b = *nics[bn];
+    auto pda = a.alloc_pd();
+    auto pdb = b.alloc_pd();
+    auto* scqa = a.create_cq(1024);
+    auto* rcqa = a.create_cq(1024);
+    auto* scqb = b.create_cq(1024);
+    auto* rcqb = b.create_cq(1024);
+    auto* qpa = a.create_qp({nic::QpType::kRC, pda, scqa, rcqa, 1024, 1024, 0});
+    auto* qpb = b.create_qp({nic::QpType::kRC, pdb, scqb, rcqb, 1024, 1024, 0});
+    a.modify_qp(*qpa, nic::QpState::kInit);
+    a.modify_qp(*qpa, nic::QpState::kRtr, {bn, qpb->qpn()});
+    a.modify_qp(*qpa, nic::QpState::kRts);
+    b.modify_qp(*qpb, nic::QpState::kInit);
+    b.modify_qp(*qpb, nic::QpState::kRtr, {an, qpa->qpn()});
+    b.modify_qp(*qpb, nic::QpState::kRts);
+    bufs[an].assign(kMsgBytes, std::byte{0x5A});
+    bufs[bn].assign(static_cast<std::size_t>(kMsgBytes) * kMsgsPerPair,
+                    std::byte{0});
+    const auto& mr_src = a.register_mr(pda, bufs[an].data(), bufs[an].size(), 0);
+    const auto& mr_dst = b.register_mr(pdb, bufs[bn].data(), bufs[bn].size(),
+                                       nic::kAccessLocalWrite);
+    for (int i = 0; i < kMsgsPerPair; ++i) {
+      b.post_recv(*qpb, {std::uint64_t(i),
+                         {uptr(bufs[bn].data()) + std::size_t(i) * kMsgBytes,
+                          kMsgBytes, mr_dst.lkey}});
+    }
+    for (int i = 0; i < kMsgsPerPair; ++i) {
+      a.post_send(*qpa, nic::SendWr{.wr_id = std::uint64_t(i),
+                                    .sge = {uptr(bufs[an].data()), kMsgBytes,
+                                            mr_src.lkey}});
+    }
+  }
+};
+
+void BM_ShardScalingRack(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    RackFabric f(shards);
+    f.se.run();
+    events += f.se.events_processed();
+    windows += f.se.stats().windows;
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+  state.counters["events_per_sec"] =
+      wall.count() > 0 ? static_cast<double>(events) / wall.count() : 0.0;
+  state.counters["windows"] = static_cast<double>(windows);
+  state.counters["hw_threads"] = static_cast<double>(
+      std::max(1u, std::thread::hardware_concurrency()));
+}
+BENCHMARK(BM_ShardScalingRack)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

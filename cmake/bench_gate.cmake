@@ -118,15 +118,17 @@ else()
 endif()
 
 # --- 3. sharding-layer overhead on single-engine runs -----------------------
-# The shards:1 config of bench_shard_scaling is the classic single-engine
-# simulation driven through the ShardedEngine layer; it must not regress
-# against its committed baseline (BENCH_shard_scaling.json). Multi-shard
-# configs are NOT gated: their wall time depends on the host's core count.
+# The shards:1 configs of bench_shard_scaling are the classic single-engine
+# simulation driven through the ShardedEngine layer — over a direct-wire
+# pair fabric (BM_ShardScaling/1) and a routed 4-rack leaf-spine fabric
+# (BM_ShardScalingRack/1) — and must not regress against their committed
+# baselines (BENCH_shard_scaling.json). Multi-shard configs are NOT gated:
+# their wall time depends on the host's core count.
 set(_shard "${OUT_DIR}/shard_scaling.json")
 execute_process(
   COMMAND "${SHARD_BENCH}" --benchmark_format=json --benchmark_out=${_shard}
           --benchmark_out_format=json --benchmark_min_time=0.3
-          --benchmark_filter=BM_ShardScaling/1$
+          "--benchmark_filter=BM_ShardScaling(Rack)?/1$"
   RESULT_VARIABLE _rc OUTPUT_QUIET)
 if(NOT _rc EQUAL 0)
   message(FATAL_ERROR "bench_gate: bench_shard_scaling failed (rc=${_rc})")
@@ -134,20 +136,22 @@ endif()
 
 load_bench_times("${SHARD_BASELINE}" SHBASE)
 load_bench_times("${_shard}" SHFRESH)
-if(NOT DEFINED SHBASE_BM_ShardScaling_1 OR NOT DEFINED SHFRESH_BM_ShardScaling_1)
-  list(APPEND _failures
-       "BM_ShardScaling/1 missing from baseline or fresh run")
-else()
-  check_regression("${SHBASE_BM_ShardScaling_1}" "${SHFRESH_BM_ShardScaling_1}"
-                   "${TOLERANCE}" _pct)
+foreach(_name "BM_ShardScaling/1" "BM_ShardScalingRack/1")
+  string(MAKE_C_IDENTIFIER "${_name}" _id)
+  if(NOT DEFINED SHBASE_${_id} OR NOT DEFINED SHFRESH_${_id})
+    list(APPEND _failures
+         "${_name} missing from baseline or fresh run")
+    continue()
+  endif()
+  check_regression("${SHBASE_${_id}}" "${SHFRESH_${_id}}" "${TOLERANCE}" _pct)
   if(_pct)
     list(APPEND _failures
-         "BM_ShardScaling/1: cpu_time ${SHFRESH_BM_ShardScaling_1} ns vs baseline ${SHBASE_BM_ShardScaling_1} ns (+${_pct}%, limit +${TOLERANCE}%)")
+         "${_name}: cpu_time ${SHFRESH_${_id}} ns vs baseline ${SHBASE_${_id}} ns (+${_pct}%, limit +${TOLERANCE}%)")
   else()
-    message(STATUS "shard-layer 1-shard overhead: "
-            "${SHFRESH_BM_ShardScaling_1} vs baseline ${SHBASE_BM_ShardScaling_1} ns — OK")
+    message(STATUS "shard-layer 1-shard overhead (${_name}): "
+            "${SHFRESH_${_id}} vs baseline ${SHBASE_${_id}} ns — OK")
   endif()
-endif()
+endforeach()
 
 if(_failures)
   string(REPLACE ";" "\n  " _msg "${_failures}")

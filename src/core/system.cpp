@@ -116,13 +116,47 @@ System::System(SystemConfig cfg, std::size_t host_count, std::size_t shards,
                          cfg_.wire_propagation);
       }
       break;
+    case SystemConfig::Wiring::kRack: {
+      const fabric::RackConfig& rack = cfg_.rack;
+      if (rack.host_count() != host_count) {
+        throw std::invalid_argument(
+            "System: rack topology (" + std::to_string(rack.racks) + " x " +
+            std::to_string(rack.hosts_per_rack) + " hosts) does not match "
+            "host_count = " + std::to_string(host_count));
+      }
+      // Switch placement: a rack (its hosts + its ToR) is one engine
+      // domain, so the ToR rides on its rack's shard; rack-misaligned host
+      // placements are rejected up front (compute_routes would also catch
+      // them, with a less direct message). The spine never drives a hop
+      // resource (both uplink directions bind ToR-side), so its placement
+      // entry is only needed for Network bookkeeping.
+      for (std::size_t r = 0; r < rack.racks; ++r) {
+        const std::uint32_t shard = placement_.at(r * rack.hosts_per_rack);
+        for (std::size_t h = 1; h < rack.hosts_per_rack; ++h) {
+          if (placement_.at(r * rack.hosts_per_rack + h) != shard) {
+            throw std::invalid_argument(
+                "System: rack " + std::to_string(r) +
+                " straddles shards — sharded rack topologies require "
+                "rack-aligned placements (all hosts of a rack on one "
+                "shard)");
+          }
+        }
+        placement_.push_back(shard);  // ToR of rack r
+      }
+      if (rack.racks > 1) placement_.push_back(placement_.at(0));  // spine
+      fabric::build_rack(network_, rack);
+      break;
+    }
   }
-  // The partition's lookahead: a cross-shard link with zero propagation
-  // would admit no parallel window at all, so reject it here (at setup)
-  // rather than deadlocking or — worse — silently reordering at run time.
+  // The partition's lookahead, per shard pair: the minimum source-side
+  // propagation of any routed path crossing each pair (pairs no path
+  // crosses stay unbounded). A cross-shard path with zero propagation
+  // would admit no parallel window at all, so it is rejected here (at
+  // setup) rather than deadlocking or — worse — silently reordering at
+  // run time.
   if (shards > 1) {
-    sharded_.set_lookahead(network_.min_cross_lookahead(
-        [this](fabric::NodeId n) { return placement_.at(n); }));
+    sharded_.set_lookahead(network_.cross_lookahead_matrix(
+        [this](fabric::NodeId n) { return placement_.at(n); }, shards));
   }
   for (std::size_t i = 0; i < host_count; ++i) {
     hosts_.push_back(std::make_unique<os::Host>(

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fabric/topology.hpp"
 #include "os/kernel.hpp"
 #include "sim/sharded.hpp"
 #include "trace/metrics.hpp"
@@ -52,8 +53,14 @@ struct SystemConfig {
     kFullMesh,  ///< every host pair linked (the default, matches the paper)
     kPairs,     ///< hosts (2k, 2k+1) linked only — a link-partitioned fabric
                 ///< with no cross-pair (and so possibly no cross-shard) links
+    kRack,      ///< leaf-spine: hosts -> ToR switches -> spine, routed paths
+                ///< (rack shape and per-tier parameters from `rack`)
   };
   Wiring wiring = Wiring::kFullMesh;
+  /// Rack shape when wiring == kRack. rack.host_count() must equal the
+  /// System's host_count; with shards > 1 the placement must be
+  /// rack-aligned (all hosts of a rack on one shard).
+  fabric::RackConfig rack;
 };
 
 /// The paper's local testbed (defaults as benchmarked: Turbo disabled).

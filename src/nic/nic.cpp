@@ -310,27 +310,37 @@ std::vector<Nic::ChunkArrival> Nic::schedule_chain_src(Nic& dst,
         skip_src_dma
             ? engine_->now()
             : dma_rd_.reserve(cfg_.pcie_bandwidth.time_for(chunk)) + cfg_.dma_latency;
-    const sim::Time w =
-        p.tx->reserve_at(s, p.bandwidth.time_for(chunk + cfg_.header_bytes));
-    out.push_back(ChunkArrival{w + p.propagation, static_cast<std::uint32_t>(chunk)});
+    // Source-side segment only: on a routed path this is the uplink hops
+    // bound to this shard; the arrival timestamp is the chunk crossing the
+    // shard boundary (== delivery for a direct wire).
+    const sim::Time w = p.reserve_src(s, chunk + cfg_.header_bytes);
+    out.push_back(ChunkArrival{w, static_cast<std::uint32_t>(chunk)});
     left -= chunk;
   } while (left > 0);
   return out;
 }
 
-sim::Time Nic::reserve_dst_chain(const std::vector<ChunkArrival>& chunks) {
-  // Runs at the first chunk's arrival time. A reservation with
+Nic::TxTimes Nic::reserve_dst_chain(const fabric::Path& p,
+                                    const std::vector<ChunkArrival>& chunks,
+                                    bool include_dma) {
+  // Runs at the first chunk's boundary-arrival time. A reservation with
   // earliest = chunk arrival made now is identical to the one the fused
-  // schedule_chain made at source-process time whenever this NIC's
-  // dma_wr_ has a single active writer (start = max(now, earliest,
-  // next_free), and now <= every chunk arrival here) — which holds for
-  // the request/response and streaming patterns of the test topologies.
-  sim::Time last = engine_->now();
+  // schedule_chain made at source-process time whenever the destination
+  // segment's resources have a single active writer (start = max(now,
+  // earliest, next_free), and now <= every chunk arrival here) — which
+  // holds for the request/response and streaming patterns of the test
+  // topologies.
+  TxTimes t{engine_->now(), engine_->now()};
   for (const ChunkArrival& c : chunks) {
-    last = dma_wr_.reserve_at(c.at, cfg_.pcie_bandwidth.time_for(c.bytes)) +
-           cfg_.dma_latency;
+    t.wire_done = p.reserve_dst(c.at, c.bytes + cfg_.header_bytes);
+    t.delivered =
+        include_dma
+            ? dma_wr_.reserve_at(t.wire_done,
+                                 cfg_.pcie_bandwidth.time_for(c.bytes)) +
+                  cfg_.dma_latency
+            : t.wire_done;
   }
-  return last;
+  return t;
 }
 
 // One record per pipeline stage of a WQE's execution, future-dated from
@@ -351,6 +361,15 @@ void Nic::trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
     tr->record_at(t.wire_done, trace::Point::kDmaDeliver, wr.trace_span, qpn,
                   0, static_cast<std::uint8_t>(dst_node), len,
                   t.delivered - t.wire_done);
+  }
+}
+
+void Nic::trace_fetch(std::uint32_t qpn, const SendWr& wr, std::uint64_t len) {
+  trace::Tracer* tr = engine_->tracer();
+  const auto node = static_cast<std::uint8_t>(node_);
+  tr->record(trace::Point::kWqeFetch, wr.trace_span, qpn, 0, node, len);
+  if (!wr.inline_data && len > 0) {
+    tr->record(trace::Point::kDmaFetch, wr.trace_span, qpn, 0, node, len);
   }
 }
 
@@ -390,13 +409,19 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
   switch (wr.opcode) {
     case Opcode::kSend:
     case Opcode::kSendWithImm: {
-      if (cross) {
+      // UD always takes the boundary-split path, even on one engine: the
+      // unreliable send completes at its local wire egress (the end of the
+      // source-side segment), which keeps the completion time — and thus
+      // the whole run — identical at every shard count. On a direct wire
+      // the boundary IS the delivery, so two-host results are unchanged.
+      if (cross || is_ud) {
         auto arrivals = schedule_chain_src(*dst, len, wr.inline_data);
         const sim::Time wire_done = arrivals.back().at;
+        const sim::Time posted = engine_->now();
         if (engine_->tracer() != nullptr) [[unlikely]] {
-          // delivered == wire_done here: the kDmaDeliver record is emitted
-          // by the destination shard, which knows the delivery time.
-          trace_chain(sqpn, wr, TxTimes{wire_done, wire_done}, dest.node, len);
+          // kWireTx and kDmaDeliver are emitted by the destination, which
+          // computes the true wire arrival past the boundary.
+          trace_fetch(sqpn, wr, len);
         }
         if (is_ud) {
           sender_complete(sqpn, wr, WcStatus::kSuccess,
@@ -408,11 +433,12 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
         post_remote(*dst, first_at,
                     sim::InlineFn([dst, dqpn = dest.qpn, self = this, sqpn,
                                    wrc = std::move(wr),
-                                   arrivals = std::move(arrivals),
+                                   arrivals = std::move(arrivals), posted,
                                    rnr_attempts, is_ud]() mutable {
                       dst->remote_send_arrival(dqpn, std::move(wrc),
                                                std::move(arrivals), *self,
-                                               sqpn, rnr_attempts, !is_ud);
+                                               sqpn, posted, rnr_attempts,
+                                               !is_ud);
                     }));
         break;
       }
@@ -421,16 +447,12 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
         trace_chain(sqpn, wr, t, dest.node, len);
       }
       WrRef shared = wr_pool_.acquire(std::move(wr));
-      if (is_ud) {
-        // Unreliable: the send completes once the last byte is on the wire.
-        sender_complete(sqpn, *shared, WcStatus::kSuccess,
-                        t.wire_done + cfg_.cqe_write);
-      }
       engine_->call_at(t.wire_done,
                        [this, dst, dqpn = dest.qpn, shared, sqpn,
-                        delivered = t.delivered, rnr_attempts, is_ud] {
+                        delivered = t.delivered, rnr_attempts] {
                          dst->handle_send_arrival(dqpn, shared, *this, sqpn,
-                                                  delivered, rnr_attempts, !is_ud);
+                                                  delivered, rnr_attempts,
+                                                  /*reliable=*/true);
                        });
       break;
     }
@@ -438,19 +460,19 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
     case Opcode::kRdmaWriteWithImm: {
       if (cross) {
         auto arrivals = schedule_chain_src(*dst, len, wr.inline_data);
-        const sim::Time wire_done = arrivals.back().at;
+        const sim::Time posted = engine_->now();
         if (engine_->tracer() != nullptr) [[unlikely]] {
-          trace_chain(sqpn, wr, TxTimes{wire_done, wire_done}, dest.node, len);
+          trace_fetch(sqpn, wr, len);
         }
         const sim::Time first_at = arrivals.front().at;  // before the move
         post_remote(*dst, first_at,
                     sim::InlineFn([dst, dqpn = dest.qpn, self = this, sqpn,
                                    wrc = std::move(wr),
-                                   arrivals = std::move(arrivals),
+                                   arrivals = std::move(arrivals), posted,
                                    rnr_attempts]() mutable {
                       dst->remote_write_arrival(dqpn, std::move(wrc),
                                                 std::move(arrivals), *self,
-                                                sqpn, rnr_attempts);
+                                                sqpn, posted, rnr_attempts);
                     }));
         break;
       }
@@ -468,11 +490,15 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       break;
     }
     case Opcode::kRdmaRead: {
-      // Header-only read request towards the responder: only this NIC's
-      // resources are reserved, so the chain itself is shard-safe; just
-      // the arrival dispatch may cross.
-      TxTimes t = schedule_chain(*dst, 0, /*skip_src_dma=*/true,
-                                 /*include_dst_dma=*/false);
+      // Header-only read request towards the responder: it reserves only
+      // the source-side segment (this shard's resources) and rides the
+      // non-contending ctrl lane over the destination side, so the chain
+      // itself is shard-safe; just the arrival dispatch may cross.
+      fabric::Path rp = network_->path(node_, dst->node_);
+      const sim::Time req_arrive =
+          rp.reserve_src(engine_->now(), cfg_.header_bytes) +
+          rp.dst_latency(cfg_.header_bytes);
+      TxTimes t{req_arrive, req_arrive};
       if (engine_->tracer() != nullptr) [[unlikely]] {
         trace_chain(sqpn, wr, t, dest.node, 0);
       }
@@ -493,9 +519,14 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
     }
     case Opcode::kFetchAdd:
     case Opcode::kCompareSwap: {
-      // The request carries the operands (header-sized on the wire).
-      TxTimes t = schedule_chain(*dst, 0, /*skip_src_dma=*/true,
-                                 /*include_dst_dma=*/false);
+      // The request carries the operands (header-sized on the wire). Like
+      // the read request: source-side reservation + ctrl-lane latency over
+      // the destination side, identical in fused and split execution.
+      fabric::Path rp = network_->path(node_, dst->node_);
+      const sim::Time req_arrive =
+          rp.reserve_src(engine_->now(), cfg_.header_bytes) +
+          rp.dst_latency(cfg_.header_bytes);
+      TxTimes t{req_arrive, req_arrive};
       if (engine_->tracer() != nullptr) [[unlikely]] {
         trace_chain(sqpn, wr, t, dest.node, 0);
       }
@@ -519,11 +550,18 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
 
 void Nic::remote_send_arrival(std::uint32_t local_qpn, SendWr wr,
                               std::vector<ChunkArrival> arrivals, Nic& src,
-                              std::uint32_t src_qpn, std::uint32_t rnr_attempts,
-                              bool reliable) {
-  const sim::Time wire_done = arrivals.back().at;
-  const sim::Time delivered = reserve_dst_chain(arrivals);
+                              std::uint32_t src_qpn, sim::Time posted,
+                              std::uint32_t rnr_attempts, bool reliable) {
+  const fabric::Path p = network_->path(src.node(), node_);
+  const auto [wire_done, delivered] =
+      reserve_dst_chain(p, arrivals, /*include_dma=*/true);
   if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+    // The kWireTx record mirrors the fused path's byte-for-byte: dated at
+    // the source's post time, on the source node, spanning the full wire
+    // crossing — only this shard knows where the crossing ends.
+    tr->record_at(posted, trace::Point::kWireTx, wr.trace_span, src_qpn, 0,
+                  static_cast<std::uint8_t>(src.node()), payload_len(wr),
+                  wire_done - posted);
     if (delivered > wire_done) {
       tr->record_at(wire_done, trace::Point::kDmaDeliver, wr.trace_span,
                     src_qpn, 0, static_cast<std::uint8_t>(node_),
@@ -540,11 +578,15 @@ void Nic::remote_send_arrival(std::uint32_t local_qpn, SendWr wr,
 
 void Nic::remote_write_arrival(std::uint32_t local_qpn, SendWr wr,
                                std::vector<ChunkArrival> arrivals, Nic& src,
-                               std::uint32_t src_qpn,
+                               std::uint32_t src_qpn, sim::Time posted,
                                std::uint32_t rnr_attempts) {
-  const sim::Time wire_done = arrivals.back().at;
-  const sim::Time delivered = reserve_dst_chain(arrivals);
+  const fabric::Path p = network_->path(src.node(), node_);
+  const auto [wire_done, delivered] =
+      reserve_dst_chain(p, arrivals, /*include_dma=*/true);
   if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+    tr->record_at(posted, trace::Point::kWireTx, wr.trace_span, src_qpn, 0,
+                  static_cast<std::uint8_t>(src.node()), payload_len(wr),
+                  wire_done - posted);
     if (delivered > wire_done) {
       tr->record_at(wire_done, trace::Point::kDmaDeliver, wr.trace_span,
                     src_qpn, 0, static_cast<std::uint8_t>(node_),
@@ -599,9 +641,9 @@ void Nic::handle_atomic_request(std::uint32_t local_qpn, WrRef wr,
   // (post_remote); everything they need travels as plain data.
   engine_->call_at(done, [this, wr, old_value, &src, src_qpn] {
     fabric::Path p = network_->path(node_, src.node());
-    const sim::Time w =
-        p.tx->reserve(p.bandwidth.time_for(cfg_.ack_bytes + 8));
-    const sim::Time arrive = w + p.propagation;
+    const sim::Time arrive =
+        p.reserve_src(engine_->now(), cfg_.ack_bytes + 8) +
+        p.dst_latency(cfg_.ack_bytes + 8);
     post_remote(src, arrive,
                 sim::InlineFn([psrc = &src, src_qpn, m = meta_of(*wr),
                                addr = wr->sge.addr, old_value] {
@@ -819,10 +861,10 @@ void Nic::handle_read_request(std::uint32_t local_qpn, WrRef wr,
     const sim::Time first_at = arrivals.front().at;  // before the move
     post_remote(src, first_at,
                 sim::InlineFn([psrc = &src, src_qpn, m = meta_of(*wr),
-                               addr = wr->sge.addr, len,
+                               addr = wr->sge.addr, len, responder = node_,
                                arrivals = std::move(arrivals),
                                data = std::move(data)]() mutable {
-                  psrc->remote_read_response(src_qpn, m, addr, len,
+                  psrc->remote_read_response(src_qpn, m, addr, len, responder,
                                              std::move(arrivals),
                                              std::move(data));
                 }));
@@ -843,9 +885,12 @@ void Nic::handle_read_request(std::uint32_t local_qpn, WrRef wr,
 
 void Nic::remote_read_response(std::uint32_t qpn, SenderMeta m,
                                std::uintptr_t addr, std::uint64_t len,
+                               NodeId responder,
                                std::vector<ChunkArrival> arrivals,
                                std::vector<std::byte> data) {
-  const sim::Time delivered = reserve_dst_chain(arrivals);
+  const fabric::Path p = network_->path(responder, node_);
+  const sim::Time delivered =
+      reserve_dst_chain(p, arrivals, /*include_dma=*/true).delivered;
   engine_->call_at(delivered, [this, qpn, m, addr, len,
                                data = std::move(data)] {
     if (len > 0) std::memcpy(mem(addr), data.data(), len);
@@ -856,12 +901,16 @@ void Nic::remote_read_response(std::uint32_t qpn, SenderMeta m,
 }
 
 void Nic::send_ctrl(Nic& dst, sim::Time earliest, sim::InlineFn fn) {
-  // The ctrl packet serializes on this NIC's own egress direction (always
-  // shard-local); only the arrival callback may cross shards, so callers
-  // must capture nothing but plain data and `dst`-side state in `fn`.
+  // The ctrl packet serializes on the path's source-side segment (always
+  // shard-local) and rides a non-contending priority lane over the
+  // destination side (dst_latency — the same formula in fused and split
+  // execution, which keeps them bit-identical); only the arrival callback
+  // may cross shards, so callers must capture nothing but plain data and
+  // `dst`-side state in `fn`.
   fabric::Path p = network_->path(node_, dst.node());
-  const sim::Time w = p.tx->reserve_at(earliest, p.bandwidth.time_for(cfg_.ack_bytes));
-  post_remote(dst, w + p.propagation + dst.cfg_.ack_processing, std::move(fn));
+  const sim::Time arrive = p.reserve_src(earliest, cfg_.ack_bytes) +
+                           p.dst_latency(cfg_.ack_bytes);
+  post_remote(dst, arrive + dst.cfg_.ack_processing, std::move(fn));
 }
 
 Nic::TxTimes Nic::schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dma,
@@ -883,9 +932,11 @@ Nic::TxTimes Nic::schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dm
         skip_src_dma
             ? engine_->now()
             : dma_rd_.reserve(cfg_.pcie_bandwidth.time_for(chunk)) + cfg_.dma_latency;
-    const sim::Time w =
-        p.tx->reserve_at(s, p.bandwidth.time_for(chunk + cfg_.header_bytes));
-    wire_done = w + p.propagation;
+    // Store-and-forward over the routed path: source-side hops, then
+    // destination-side hops — the same reservations, in the same order,
+    // that the split schedule_chain_src + reserve_dst_chain pair makes.
+    const sim::Time boundary = p.reserve_src(s, chunk + cfg_.header_bytes);
+    wire_done = p.reserve_dst(boundary, chunk + cfg_.header_bytes);
     if (include_dst_dma) {
       last_dst = dst.dma_wr_.reserve_at(wire_done,
                                         dst.cfg_.pcie_bandwidth.time_for(chunk)) +

@@ -147,9 +147,11 @@ class Nic {
   };
   static SenderMeta meta_of(const SendWr& wr);
 
-  /// One MTU chunk's wire arrival at the destination NIC. The source shard
-  /// computes these from its own (local) DMA-fetch + wire reservations; the
-  /// destination shard replays its DMA-write reservations from them with
+  /// One MTU chunk crossing the path's shard boundary: for a direct wire,
+  /// arrival at the destination NIC; for a routed path, the instant it
+  /// clears the last source-side hop. The source shard computes these from
+  /// its own (local) DMA-fetch + uplink reservations; the destination
+  /// shard replays its downlink + DMA-write reservations from them with
   /// the same timestamps the fused schedule_chain would have produced.
   struct ChunkArrival {
     sim::Time at = 0;
@@ -165,13 +167,18 @@ class Nic {
   TxTimes schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dma,
                          bool include_dst_dma);
   /// Source half of schedule_chain for a cross-shard `dst`: reserves the
-  /// local DMA fetch + wire, returns per-chunk arrivals for the
-  /// destination shard to finish via reserve_dst_chain.
+  /// local DMA fetch + the path's source-side hops, returns per-chunk
+  /// boundary arrivals for the destination shard to finish via
+  /// reserve_dst_chain.
   std::vector<ChunkArrival> schedule_chain_src(Nic& dst, std::uint64_t bytes,
                                                bool skip_src_dma);
-  /// Destination half: replays the dst-DMA reservations of schedule_chain
-  /// (called at the first chunk's arrival time). Returns `delivered`.
-  sim::Time reserve_dst_chain(const std::vector<ChunkArrival>& chunks);
+  /// Destination half: replays the destination-side hop (+ optionally
+  /// DMA-write) reservations of schedule_chain from the boundary arrivals
+  /// (called at the first chunk's arrival time). `p` is the forward path
+  /// the chunks traveled (src towards this NIC).
+  TxTimes reserve_dst_chain(const fabric::Path& p,
+                            const std::vector<ChunkArrival>& chunks,
+                            bool include_dma);
 
   /// Run `fn` at `t` on dst's engine: plain call_at when dst shares this
   /// NIC's engine (byte-identical to the pre-sharding code path), a
@@ -201,13 +208,15 @@ class Nic {
   // value and is re-pooled locally before entering the handlers above).
   void remote_send_arrival(std::uint32_t local_qpn, SendWr wr,
                            std::vector<ChunkArrival> arrivals, Nic& src,
-                           std::uint32_t src_qpn, std::uint32_t rnr_attempts,
-                           bool reliable);
+                           std::uint32_t src_qpn, sim::Time posted,
+                           std::uint32_t rnr_attempts, bool reliable);
   void remote_write_arrival(std::uint32_t local_qpn, SendWr wr,
                             std::vector<ChunkArrival> arrivals, Nic& src,
-                            std::uint32_t src_qpn, std::uint32_t rnr_attempts);
+                            std::uint32_t src_qpn, sim::Time posted,
+                            std::uint32_t rnr_attempts);
   void remote_read_response(std::uint32_t qpn, SenderMeta m,
                             std::uintptr_t addr, std::uint64_t len,
+                            NodeId responder,
                             std::vector<ChunkArrival> arrivals,
                             std::vector<std::byte> data);
 
@@ -219,6 +228,10 @@ class Nic {
   /// for one processed WR. Only called when a tracer is attached.
   void trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
                    NodeId dst_node, std::uint64_t len);
+  /// The fetch-side records only (kWqeFetch, kDmaFetch) — used on the
+  /// boundary-crossing path, where the destination shard emits kWireTx and
+  /// kDmaDeliver once it has computed the true wire arrival.
+  void trace_fetch(std::uint32_t qpn, const SendWr& wr, std::uint64_t len);
 
   void complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe);
   /// Sender-side completion for wr_id on `qpn` (releases the SQ credit;

@@ -42,6 +42,7 @@ struct Setup {
   bool use_inline = false;
   std::uint32_t recv_len = 0;  // sink slot length (payload + GRH for UD)
   std::uint32_t slots = 1;     // receive slots carved out of `sink`
+  nic::NodeId server_node = 1; // last host (1 on the classic two-host wire)
 };
 
 /// Receive-slot sizing: bandwidth tests rotate through several slots so a
@@ -51,8 +52,10 @@ sim::Task<> establish(Setup& s, core::System& sys, const Params& p,
   s.sys = &sys;
   s.is_ud = p.transport == Transport::kUD;
   s.slots = slots;
+  s.server_node = static_cast<nic::NodeId>(sys.host_count() - 1);
   s.client = std::make_unique<verbs::Context>(sys.host(0), 0, p.client);
-  s.server = std::make_unique<verbs::Context>(sys.host(1), 0, p.server);
+  s.server =
+      std::make_unique<verbs::Context>(sys.host(s.server_node), 0, p.server);
 
   s.pd_c = co_await s.client->alloc_pd();
   s.pd_s = co_await s.server->alloc_pd();
@@ -73,7 +76,8 @@ sim::Task<> establish(Setup& s, core::System& sys, const Params& p,
     (void)co_await s.client->connect_qp(*s.qp_c);
     (void)co_await s.server->connect_qp(*s.qp_s);
   } else {
-    int rc = co_await s.client->connect_qp(*s.qp_c, {1, s.qp_s->qpn()});
+    int rc = co_await s.client->connect_qp(*s.qp_c,
+                                           {s.server_node, s.qp_s->qpn()});
     if (rc != 0) throw std::runtime_error("client connect failed");
     rc = co_await s.server->connect_qp(*s.qp_s, {0, s.qp_c->qpn()});
     if (rc != 0) throw std::runtime_error("server connect failed");
@@ -161,7 +165,7 @@ SendWr make_send(const Setup& s, const Params& p, bool from_client) {
   wr.sge = {uptr(data.data()), static_cast<std::uint32_t>(p.msg_size), mr->lkey};
   wr.inline_data = s.use_inline;
   if (s.is_ud) {
-    wr.ud = from_client ? nic::AddressHandle{1, s.qp_s->qpn()}
+    wr.ud = from_client ? nic::AddressHandle{s.server_node, s.qp_s->qpn()}
                         : nic::AddressHandle{0, s.qp_c->qpn()};
   }
   return wr;
@@ -369,12 +373,33 @@ sim::Task<> bw_client(Setup& s, const Params& p, BandwidthResult& out) {
 void validate(const Params& p) {
   if (p.msg_size == 0) throw std::invalid_argument("msg_size must be > 0");
   if (p.shards == 0) throw std::invalid_argument("shards must be >= 1");
+  if (p.racks > 0 && p.hosts_per_rack == 0) {
+    throw std::invalid_argument("hosts_per_rack must be >= 1");
+  }
   if (p.transport == Transport::kUD && p.op != TestOp::kSend) {
     throw std::invalid_argument("UD supports only send/recv");
   }
   if (p.transport == Transport::kUD && p.msg_size > 4096) {
     throw std::invalid_argument("UD messages are limited to the MTU");
   }
+}
+
+std::size_t topo_hosts(const Params& p) {
+  return p.racks == 0 ? 2 : p.racks * p.hosts_per_rack;
+}
+
+/// The SystemConfig for the requested topology: unchanged for the classic
+/// two-host wire; a leaf-spine rack fabric whose access links inherit the
+/// config's wire bandwidth/propagation when Params::racks >= 1.
+core::SystemConfig topo_config(core::SystemConfig cfg, const Params& p) {
+  if (p.racks > 0) {
+    cfg.wiring = core::SystemConfig::Wiring::kRack;
+    cfg.rack.racks = p.racks;
+    cfg.rack.hosts_per_rack = p.hosts_per_rack;
+    cfg.rack.host_bandwidth = cfg.wire_bandwidth;
+    cfg.rack.host_propagation = cfg.wire_propagation;
+  }
+  return cfg;
 }
 
 void arm_tracing(core::System& sys, const Params& p) {
@@ -389,7 +414,7 @@ void arm_tracing(core::System& sys, const Params& p) {
 
 LatencyResult run_latency(const core::SystemConfig& cfg, const Params& p) {
   validate(p);
-  core::System sys(cfg, 2, p.shards);
+  core::System sys(topo_config(cfg, p), topo_hosts(p), p.shards);
   LatencyResult result;
   // Lives outside the workload coroutine: straggler NIC events (in-flight
   // deliveries past the last harvested completion) still reference these
@@ -449,11 +474,11 @@ LatencyResult run_latency(const core::SystemConfig& cfg, const Params& p) {
     // interaction flows through the NIC model's cross-shard messages.
     switch (p.op) {
       case TestOp::kSend:
-        sys.engine_for(1).spawn(send_lat_server(s, p, total));
+        sys.engine_for(s.server_node).spawn(send_lat_server(s, p, total));
         sys.engine_for(0).spawn(send_lat_client(s, p, result));
         break;
       case TestOp::kWrite:
-        sys.engine_for(1).spawn(write_lat_server(s, p, total));
+        sys.engine_for(s.server_node).spawn(write_lat_server(s, p, total));
         sys.engine_for(0).spawn(write_lat_client(s, p, result));
         break;
       case TestOp::kRead:
@@ -480,7 +505,7 @@ LatencyResult run_latency(const core::SystemConfig& cfg, const Params& p) {
 
 BandwidthResult run_bandwidth(const core::SystemConfig& cfg, const Params& p) {
   validate(p);
-  core::System sys(cfg, 2, p.shards);
+  core::System sys(topo_config(cfg, p), topo_hosts(p), p.shards);
   BandwidthResult result;
   // Outlives the coroutine frame; see run_latency.
   Setup s;
@@ -550,8 +575,9 @@ BandwidthResult run_bandwidth(const core::SystemConfig& cfg, const Params& p) {
     // the lookahead, so the flag flips at a deterministic virtual time.
     bool client_done = false;
     if (p.op == TestOp::kSend) {
-      sys.engine_for(1).spawn(send_bw_server(s, p, p.iterations,
-                                             s.is_ud ? &client_done : nullptr));
+      sys.engine_for(s.server_node)
+          .spawn(send_bw_server(s, p, p.iterations,
+                                s.is_ud ? &client_done : nullptr));
     }
     sys.engine_for(0).spawn([](Setup& s, core::System& sys, const Params& p,
                                BandwidthResult& result,
@@ -559,7 +585,12 @@ BandwidthResult run_bandwidth(const core::SystemConfig& cfg, const Params& p) {
       co_await bw_client(s, p, result);
       if (p.op == TestOp::kSend && s.is_ud) {
         sim::Engine& ce = sys.engine_for(0);
-        ce.cross_post(sys.engine_for(1), ce.now() + sys.sharded().lookahead(),
+        // Pair-exact lookahead: the minimum delay the protocol allows for
+        // a message from the client's shard to the server's.
+        const std::uint32_t cs = sys.shard_of(0);
+        const std::uint32_t ss = sys.shard_of(s.server_node);
+        const sim::Time la = cs == ss ? 0 : sys.sharded().lookahead(cs, ss);
+        ce.cross_post(sys.engine_for(s.server_node), ce.now() + la,
                       sim::InlineFn([&client_done] { client_done = true; }));
       }
     }(s, sys, p, result, client_done));

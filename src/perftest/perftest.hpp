@@ -48,6 +48,15 @@ struct Params {
   /// identical — the sharded run is checked against the single-engine
   /// goldens in the test suite.
   std::size_t shards = 1;
+  /// Rack topology: 0 racks = the classic two-host back-to-back wire.
+  /// With racks >= 1 the System is wired as a leaf-spine fabric
+  /// (SystemConfig::Wiring::kRack) over racks * hosts_per_rack hosts; the
+  /// client runs on host 0, the server on the last host (the far corner
+  /// of the topology), and the access-link bandwidth/propagation follow
+  /// the SystemConfig's wire parameters. With shards > 1 the default
+  /// block placement must be rack-aligned (shards must divide racks).
+  std::size_t racks = 0;
+  std::size_t hosts_per_rack = 2;
   /// Arm the system tracer for the run and return the captured records in
   /// the result (off by default: tracing must never tax a benchmark run).
   bool capture_trace = false;

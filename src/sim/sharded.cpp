@@ -22,6 +22,9 @@ ShardedEngine::ShardedEngine(std::size_t shard_count) {
     engines_.push_back(std::move(e));
   }
   mail_.resize(shard_count * shard_count);
+  lookahead_.assign(shard_count * shard_count, kUnboundedLookahead);
+  out_min_.assign(shard_count, kUnboundedLookahead);
+  window_end_.assign(shard_count, 0);
   stats_.barrier_wait_ns.assign(shard_count, 0);
 }
 
@@ -35,7 +38,69 @@ void ShardedEngine::set_lookahead(Time la) {
         " shards — a cross-shard link with zero propagation delay admits "
         "no safe conservative window");
   }
-  lookahead_ = la;
+  if (la >= kUnboundedLookahead) la = kUnboundedLookahead;
+  const std::size_t n = shard_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      lookahead_[i * n + j] = la;
+    }
+  }
+  close_lookahead();
+}
+
+void ShardedEngine::set_lookahead(const std::vector<Time>& matrix) {
+  const std::size_t n = shard_count();
+  if (matrix.size() != n * n) {
+    throw std::invalid_argument(
+        "ShardedEngine: lookahead matrix has " + std::to_string(matrix.size()) +
+        " entries, want shard_count^2 = " + std::to_string(n * n));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      Time la = matrix[i * n + j];
+      if (n > 1 && la <= 0) {
+        throw std::invalid_argument(
+            "ShardedEngine: non-positive lookahead (" + std::to_string(la) +
+            " ps) for shard pair (" + std::to_string(i) + ", " +
+            std::to_string(j) +
+            ") — a cross-shard path with zero propagation delay admits no "
+            "safe conservative window");
+      }
+      if (la >= kUnboundedLookahead) la = kUnboundedLookahead;
+      lookahead_[i * n + j] = la;
+    }
+  }
+  close_lookahead();
+}
+
+void ShardedEngine::close_lookahead() {
+  const std::size_t n = shard_count();
+  // Min-plus (tropical) transitive closure: an effect can cross i -> j by
+  // relaying through any k (an event posted to k at t + D[i][k] can itself
+  // post to j at t + D[i][k] + D[k][j]), so the safe pairwise bound is the
+  // shortest path in the lookahead graph, not the direct entry alone.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Time ik = lookahead_[i * n + k];
+      if (i == k || ik >= kUnboundedLookahead) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == k || j == i) continue;
+        const Time via = sat_add(ik, lookahead_[k * n + j]);
+        if (via < lookahead_[i * n + j]) lookahead_[i * n + j] = via;
+      }
+    }
+  }
+  min_lookahead_ = kUnboundedLookahead;
+  for (std::size_t i = 0; i < n; ++i) {
+    Time out = kUnboundedLookahead;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      out = std::min(out, lookahead_[i * n + j]);
+    }
+    out_min_[i] = out;
+    min_lookahead_ = std::min(min_lookahead_, out);
+  }
 }
 
 void ShardedEngine::post(Engine& src, Engine& dst, Time t, InlineFn fn) {
@@ -46,13 +111,18 @@ void ShardedEngine::post(Engine& src, Engine& dst, Time t, InlineFn fn) {
     dst.call_at(t, std::move(fn));
     return;
   }
-  if (t < src.now() + lookahead_) {
+  // Subtraction form: t and now() are both in [0, kNoEvent], so the
+  // difference cannot overflow, unlike now() + lookahead.
+  const Time la = lookahead_[src.shard_index_ * shard_count() + dst.shard_index_];
+  if (t - src.now() < la) {
     throw std::logic_error(
         "ShardedEngine: torn window — cross-shard event for t=" +
         std::to_string(t) + " ps posted at src time " +
         std::to_string(src.now()) + " ps violates the declared lookahead of " +
-        std::to_string(lookahead_) +
-        " ps (a cross-shard link is faster than the lookahead claims)");
+        std::to_string(la) + " ps for shard pair (" +
+        std::to_string(src.shard_index_) + ", " +
+        std::to_string(dst.shard_index_) +
+        ") (a cross-shard path is faster than the lookahead claims)");
   }
   mail_[src.shard_index_ * shard_count() + dst.shard_index_].push_back(
       Msg{t, std::move(fn)});
@@ -165,10 +235,18 @@ Time ShardedEngine::run_parallel() {
         start.arrive_and_wait();
         if (stop_) return;
         try {
-          // Events strictly inside [.., window_end_) are safe; run_until
-          // is inclusive, hence - 1. It also parks now() at the window
-          // edge so the next window's cross-shard arrivals never clamp.
-          e.run_until(window_end_ - 1);
+          const Time end = window_end_[i];
+          if (end == Engine::kNoEvent) {
+            // Unbounded window: no peer can reach this shard and nothing
+            // it posts needs a barrier — drain the queue without parking
+            // the clock at an artificial horizon.
+            e.run();
+          } else {
+            // Events strictly inside [.., end) are safe; run_until is
+            // inclusive, hence - 1. It also parks now() at the window
+            // edge so the next window's cross-shard arrivals never clamp.
+            e.run_until(end - 1);
+          }
         } catch (...) {
           worker_error[i] = std::current_exception();
         }
@@ -182,19 +260,41 @@ Time ShardedEngine::run_parallel() {
     });
   }
 
+  std::vector<Time> next(n);
   for (;;) {
-    const Time next = min_next_event();
-    if (next == Engine::kNoEvent || error_) {
+    Time next_min = Engine::kNoEvent;
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = engines_[i]->next_event_time();
+      next_min = std::min(next_min, next[i]);
+    }
+    if (next_min == Engine::kNoEvent || error_) {
       stop_ = true;
       start.arrive_and_wait();  // release workers into their exit path
       break;
     }
-    // Window [next, next + lookahead]: any cross-shard effect of an event
-    // at t >= next lands at t + lookahead > window end, so in-window
-    // execution is causally closed per shard.
-    window_end_ = (next >= kUnboundedLookahead || lookahead_ >= kUnboundedLookahead)
-                      ? Engine::kNoEvent
-                      : next + lookahead_;
+    // Adaptive per-shard windows. Shard k may run every event strictly
+    // before end_k = min(min_{j != k} T_j + D[j][k], T_k + out_min_[k]):
+    // the first term is safety (any cross-shard effect from a peer event
+    // at T_j lands no earlier than T_j + D[j][k], D closed over relays),
+    // the second liveness (k's own posts are parked until the window edge;
+    // without it a shard spin-waiting on a reply to its own in-window
+    // post would never reach the barrier). Pairs with unbounded lookahead
+    // contribute nothing; a shard no peer can reach and that can reach no
+    // peer gets an unbounded window. With a uniform matrix every end_k
+    // equals min(T) + L — exactly the classic global window.
+    for (std::size_t k = 0; k < n; ++k) {
+      Time end = next[k] == Engine::kNoEvent
+                     ? Engine::kNoEvent
+                     : sat_add(next[k], out_min_[k]);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == k || next[j] == Engine::kNoEvent) continue;
+        const Time la = lookahead_[j * n + k];
+        if (la >= kUnboundedLookahead) continue;
+        end = std::min(end, sat_add(next[j], la));
+      }
+      if (end >= kUnboundedLookahead) end = Engine::kNoEvent;
+      window_end_[k] = end;
+    }
     start.arrive_and_wait();
     finish.arrive_and_wait();
     for (std::size_t i = 0; i < n; ++i) {

@@ -2,15 +2,25 @@
 // with conservative (lookahead-based) time windows.
 //
 // Protocol (synchronous conservative windows, a la CMB null-message-free
-// variants): let T = min over shards of the earliest queued event time and
-// L = the lookahead (the minimum propagation delay of any link crossing a
-// shard boundary). Every cross-shard effect generated by an event at time
-// t arrives no earlier than t + L, so all events in the window [T, T + L]
-// are independent across shards: each shard may execute them in parallel
-// without ever receiving a message dated inside its own past. At the
-// window edge all shards block on a barrier, the coordinator drains the
-// cross-shard mailboxes into the destination engines in a deterministic
-// order, recomputes T, and opens the next window.
+// variants): the lookahead D[i][j] is a lower bound on how far in the
+// future any cross-shard effect from shard i must land on shard j (the
+// minimum source-side propagation of any fabric path crossing that pair,
+// run through a min-plus transitive closure so relayed effects i -> k -> j
+// are bounded too). With T_j = shard j's earliest queued event time, shard
+// k may safely execute every event strictly before
+//
+//   end_k = min( min_{j != k} T_j + D[j][k],   // nothing can reach k earlier
+//                T_k + min_j D[k][j] )         // k's own posts drain next edge
+//
+// — the first term is safety (no peer can send k a message dated inside
+// the window), the second is liveness (anything k posts while running is
+// parked in a mailbox until the window edge; bounding the window by k's
+// own earliest possible post keeps k from spinning forever on a reply
+// that sits in its own outbox). With a uniform matrix this degenerates to
+// the classic global window [T, T + L]. At the window edge all shards
+// block on a barrier, the coordinator drains the cross-shard mailboxes
+// into the destination engines in a deterministic order, recomputes the
+// T's, and opens the next windows.
 //
 // Determinism: within a shard the existing (t, seq) total order applies
 // unchanged. Cross-shard messages are assigned destination seq numbers at
@@ -18,7 +28,9 @@
 // order — a pure function of simulation state, independent of thread
 // scheduling — so an N-shard run is reproducible run-to-run and, for
 // models whose timestamps don't depend on event interleaving across
-// shards, bit-identical to the single-engine run.
+// shards, bit-identical to the single-engine run. Window *placement*
+// (hence ShardStats::windows) depends on the matrix, but which events run
+// and the timestamps they produce do not.
 //
 // Mailboxes are phase-separated rather than locked: during a window only
 // the source shard's thread appends to mail_[src][dst]; between the finish
@@ -51,8 +63,12 @@ struct ShardStats {
 
 class ShardedEngine {
  public:
-  /// Lookahead value meaning "no cross-shard links": windows are unbounded
-  /// and the run degenerates to one barrier-free window per drain.
+  /// Lookahead value meaning "these shards never interact": windows on
+  /// such pairs are unbounded. Deliberately kNoEvent / 2 so that
+  /// T + lookahead can never wrap sim::Time; set_lookahead clamps any
+  /// larger value (including the raw Engine::kNoEvent sentinel that
+  /// fabric::Network::min_cross_lookahead returns for partitions with no
+  /// cross-shard path) down to this.
   static constexpr Time kUnboundedLookahead = Engine::kNoEvent / 2;
 
   explicit ShardedEngine(std::size_t shard_count);
@@ -64,13 +80,33 @@ class ShardedEngine {
   Engine& shard(std::size_t i) { return *engines_[i]; }
   const Engine& shard(std::size_t i) const { return *engines_[i]; }
 
-  /// Declare the conservative lookahead: the minimum propagation delay of
-  /// any link whose endpoints live on different shards. Throws
-  /// std::invalid_argument for la <= 0 with more than one shard — a
-  /// zero-lookahead topology (e.g. a cross-shard link with zero
-  /// propagation) admits no safe window and must be rejected at setup.
+  /// Declare a uniform conservative lookahead: the minimum propagation
+  /// delay of any path crossing any shard pair. Values >=
+  /// kUnboundedLookahead (including Engine::kNoEvent) clamp to
+  /// kUnboundedLookahead. Throws std::invalid_argument for la <= 0 with
+  /// more than one shard — a zero-lookahead topology (e.g. a cross-shard
+  /// link with zero propagation) admits no safe window and must be
+  /// rejected at setup.
   void set_lookahead(Time la);
-  Time lookahead() const { return lookahead_; }
+
+  /// Declare a per-shard-pair lookahead matrix (row-major, shard_count()^2
+  /// entries; [src * n + dst]). Entry (i, j) bounds how far ahead of src's
+  /// clock any direct i -> j effect must land; use kUnboundedLookahead (or
+  /// anything larger, e.g. Engine::kNoEvent) for pairs that never
+  /// interact. Diagonal entries are ignored. Off-diagonal entries <= 0
+  /// throw std::invalid_argument when shard_count() > 1. The matrix is
+  /// closed under min-plus composition internally (i -> k -> j relays),
+  /// so callers only need to describe direct pair bounds.
+  void set_lookahead(const std::vector<Time>& matrix);
+
+  /// Minimum off-diagonal lookahead (kUnboundedLookahead when no pair
+  /// interacts) — the uniform-protocol view of the matrix.
+  Time lookahead() const { return min_lookahead_; }
+  /// Closed pairwise bound: no effect originating on `src` can land on
+  /// `dst` less than this far ahead of src's clock, even via relays.
+  Time lookahead(std::size_t src, std::size_t dst) const {
+    return lookahead_[src * shard_count() + dst];
+  }
 
   /// Post `fn` at absolute time `t` onto `dst`. Called (via
   /// Engine::cross_post) from whatever thread currently runs `src`.
@@ -103,6 +139,11 @@ class ShardedEngine {
   std::uint64_t clamped_events() const;
   std::size_t live_roots() const;
 
+  /// t + la without wrapping sim::Time (saturates at Engine::kNoEvent).
+  static Time sat_add(Time t, Time la) {
+    return t >= Engine::kNoEvent - la ? Engine::kNoEvent : t + la;
+  }
+
  private:
   struct Msg {
     Time t;
@@ -114,14 +155,26 @@ class ShardedEngine {
   Time run_parallel();
   void drain_mailboxes();
   Time min_next_event() const;
+  /// Min-plus transitive closure of lookahead_, then refresh the derived
+  /// min_lookahead_ / out_min_ caches.
+  void close_lookahead();
 
   std::vector<std::unique_ptr<Engine>> engines_;
   /// mail_[src * n + dst]: appended by src's thread during a window,
   /// drained by the coordinator between barriers.
   std::vector<std::vector<Msg>> mail_;
-  Time lookahead_ = kUnboundedLookahead;
+  /// Closed lookahead matrix [src * n + dst]; diagonal unused. Every
+  /// entry is in (0, kUnboundedLookahead].
+  std::vector<Time> lookahead_;
+  /// out_min_[k] = min over j != k of lookahead_[k][j]: the earliest any
+  /// post from k can be dated, relative to k's clock (liveness bound).
+  std::vector<Time> out_min_;
+  Time min_lookahead_ = kUnboundedLookahead;
   Mode mode_ = Mode::kIdle;
-  Time window_end_ = 0;
+  /// Per-shard window edge for the current parallel round, written by the
+  /// coordinator between barriers. Engine::kNoEvent means "unbounded: run
+  /// to queue exhaustion".
+  std::vector<Time> window_end_;
   bool stop_ = false;
   std::exception_ptr error_;
   ShardStats stats_;

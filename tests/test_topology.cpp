@@ -1,0 +1,447 @@
+// Rack-topology tests: the leaf-spine builder and its routed multi-hop
+// paths, route determinism and error paths, the duplicate-connect and
+// lookahead-sentinel regressions, the per-shard-pair lookahead matrix
+// (closure, validation, torn-window enforcement, adaptive windows), and
+// shards-vs-single-engine bit-identity of perftest runs on a rack fabric.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/system.hpp"
+#include "fabric/link.hpp"
+#include "fabric/topology.hpp"
+#include "perftest/perftest.hpp"
+#include "sim/sharded.hpp"
+#include "trace/export.hpp"
+
+namespace cord {
+namespace {
+
+using sim::Time;
+
+fabric::RackConfig two_by_two() { return fabric::RackConfig{}; }
+
+void add_hosts(fabric::Network& net, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node(static_cast<fabric::NodeId>(i),
+                 sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
+  }
+}
+
+// --- Topology geometry and routing ------------------------------------
+
+TEST(RackTopology, ConfigGeometry) {
+  fabric::RackConfig cfg;
+  cfg.racks = 3;
+  cfg.hosts_per_rack = 4;
+  EXPECT_EQ(cfg.host_count(), 12u);
+  EXPECT_EQ(cfg.switch_count(), 4u);  // 3 ToRs + spine
+  EXPECT_EQ(cfg.node_count(), 16u);
+  EXPECT_EQ(cfg.rack_of(0), 0u);
+  EXPECT_EQ(cfg.rack_of(11), 2u);
+  EXPECT_EQ(cfg.tor_id(0), 12u);
+  EXPECT_EQ(cfg.tor_id(2), 14u);
+  EXPECT_EQ(cfg.spine_id(), 15u);
+
+  fabric::RackConfig single;
+  single.racks = 1;
+  EXPECT_EQ(single.switch_count(), 1u);  // one rack needs no spine
+}
+
+TEST(RackTopology, BuilderRejectsDegenerateShapes) {
+  sim::Engine e;
+  fabric::Network net(e);
+  fabric::RackConfig cfg;
+  cfg.racks = 0;
+  EXPECT_THROW(fabric::build_rack(net, cfg), std::invalid_argument);
+  cfg.racks = 1;
+  cfg.hosts_per_rack = 0;
+  EXPECT_THROW(fabric::build_rack(net, cfg), std::invalid_argument);
+}
+
+TEST(RackTopology, RoutedPathsFollowLeafSpine) {
+  sim::Engine e;
+  fabric::Network net(e);
+  const fabric::RackConfig cfg = two_by_two();  // 2 racks x 2 hosts
+  add_hosts(net, cfg.host_count());
+  fabric::build_rack(net, cfg);
+
+  // Node ids: hosts 0..3, ToRs 4 (rack 0) and 5, spine 6.
+  EXPECT_TRUE(net.is_switch(4));
+  EXPECT_TRUE(net.is_switch(6));
+  EXPECT_FALSE(net.is_switch(0));
+
+  // Intra-rack: two hops through the ToR.
+  EXPECT_EQ(net.route(0, 1), (std::vector<fabric::NodeId>{0, 4, 1}));
+  const fabric::Path intra = net.path(0, 1);
+  EXPECT_EQ(intra.hop_count, 2);
+  // Host hop carries only the wire's propagation; the hop leaving the ToR
+  // folds in the ToR's forwarding latency.
+  EXPECT_EQ(intra.hops[0].propagation, cfg.host_propagation);
+  EXPECT_EQ(intra.hops[1].propagation, cfg.host_propagation + cfg.tor_latency);
+  EXPECT_EQ(intra.propagation(), sim::ns(150 + 150 + 300));
+
+  // Cross-rack: four hops via the spine.
+  EXPECT_EQ(net.route(0, 2), (std::vector<fabric::NodeId>{0, 4, 6, 5, 2}));
+  const fabric::Path cross = net.path(0, 2);
+  EXPECT_EQ(cross.hop_count, 4);
+  EXPECT_EQ(cross.hops[0].propagation, cfg.host_propagation);
+  EXPECT_EQ(cross.hops[1].propagation,
+            cfg.uplink_propagation + cfg.tor_latency);
+  EXPECT_EQ(cross.hops[2].propagation,
+            cfg.uplink_propagation + cfg.spine_latency);
+  EXPECT_EQ(cross.hops[3].propagation, cfg.host_propagation + cfg.tor_latency);
+  EXPECT_EQ(cross.propagation(), sim::ns(150 + 650 + 800 + 450));
+  // Single-engine fabric: every hop is driven by the (one) source engine,
+  // so the whole chain is source-side.
+  EXPECT_EQ(cross.src_hops, cross.hop_count);
+  EXPECT_EQ(cross.dst_hops(), 0);
+  EXPECT_EQ(cross.src_propagation(), cross.propagation());
+
+  // Routes are directional and deterministic: the reverse path mirrors.
+  EXPECT_EQ(net.route(2, 0), (std::vector<fabric::NodeId>{2, 5, 6, 4, 0}));
+  // Loopback stays the 1-hop special case.
+  EXPECT_EQ(net.route(3, 3), (std::vector<fabric::NodeId>{3}));
+  EXPECT_EQ(net.path(3, 3).hop_count, 1);
+}
+
+TEST(RackTopology, SingleRackHasNoSpine) {
+  sim::Engine e;
+  fabric::Network net(e);
+  fabric::RackConfig cfg;
+  cfg.racks = 1;
+  cfg.hosts_per_rack = 3;
+  add_hosts(net, cfg.host_count());
+  fabric::build_rack(net, cfg);
+  EXPECT_EQ(net.route(0, 2), (std::vector<fabric::NodeId>{0, 3, 2}));
+  EXPECT_FALSE(net.is_switch(cfg.spine_id()));  // never added
+  EXPECT_TRUE(net.has_path(1, 2));
+}
+
+TEST(RackTopology, PathErrorPaths) {
+  sim::Engine e;
+  fabric::Network net(e);
+  add_hosts(net, 2);
+  // No wiring at all: unknown loopback and no-link both throw.
+  EXPECT_THROW(net.path(7, 7), std::invalid_argument);
+  EXPECT_THROW(net.path(0, 1), std::invalid_argument);
+  EXPECT_FALSE(net.has_path(0, 1));
+  // A switch wired to only one of the hosts: host 1 stays unreachable, and
+  // the error distinguishes "no route" from "no link".
+  net.add_switch(10, /*tier=*/1, sim::ns(300));
+  net.connect(0, 10, sim::Bandwidth::gbit_per_sec(100.0), sim::ns(150));
+  EXPECT_FALSE(net.has_path(0, 1));
+  EXPECT_THROW(net.path(0, 1), std::invalid_argument);
+  EXPECT_THROW(net.route(0, 1), std::invalid_argument);
+}
+
+// --- Regression: duplicate connect ------------------------------------
+//
+// Pre-fix, Network::connect silently replaced the Link, destroying the
+// Resources inside it while Paths handed to NICs still pointed at them.
+
+TEST(RackTopology, DuplicateConnectThrows) {
+  sim::Engine e;
+  fabric::Network net(e);
+  add_hosts(net, 2);
+  net.connect(0, 1, sim::Bandwidth::gbit_per_sec(100.0), sim::ns(150));
+  EXPECT_THROW(
+      net.connect(0, 1, sim::Bandwidth::gbit_per_sec(200.0), sim::ns(50)),
+      std::invalid_argument);
+  // The pair key is unordered: reconnecting in reverse is the same link.
+  EXPECT_THROW(
+      net.connect(1, 0, sim::Bandwidth::gbit_per_sec(200.0), sim::ns(50)),
+      std::invalid_argument);
+  // The original link (and any Path resource taken from it) is untouched.
+  const fabric::Path p = net.path(0, 1);
+  EXPECT_EQ(p.hops[0].propagation, sim::ns(150));
+}
+
+TEST(RackTopology, RewiringABuiltRackThrows) {
+  sim::Engine e;
+  fabric::Network net(e);
+  const fabric::RackConfig cfg = two_by_two();
+  add_hosts(net, cfg.host_count());
+  fabric::build_rack(net, cfg);
+  EXPECT_THROW(net.connect(0, cfg.tor_id(0), cfg.host_bandwidth,
+                           cfg.host_propagation),
+               std::invalid_argument);
+  // A node can be a host or a switch, never both.
+  EXPECT_THROW(net.add_switch(0, 1), std::invalid_argument);
+}
+
+// --- Sharded rack systems ---------------------------------------------
+
+TEST(RackSharding, PrefixSuffixSplitFollowsRackPlacement) {
+  core::SystemConfig cfg = core::system_l();
+  cfg.wiring = core::SystemConfig::Wiring::kRack;
+  cfg.rack = two_by_two();
+  core::System sys(cfg, 4, 2);  // block placement: rack 0 -> shard 0, rack 1 -> shard 1
+  fabric::Network& net = *sys.network_ptr();
+
+  // Cross-rack route: sender's shard drives host->ToR and ToR->spine, the
+  // receiver's drives spine->ToR and ToR->host.
+  const fabric::Path cross = net.path(0, 2);
+  EXPECT_EQ(cross.hop_count, 4);
+  EXPECT_EQ(cross.src_hops, 2);
+  EXPECT_EQ(cross.dst_hops(), 2);
+  EXPECT_EQ(cross.src_propagation(),
+            cfg.rack.host_propagation + cfg.rack.uplink_propagation +
+                cfg.rack.tor_latency);
+  // Intra-rack routes never leave the shard: the whole chain is src-side.
+  EXPECT_EQ(net.path(0, 1).src_hops, 2);
+  EXPECT_EQ(net.path(0, 1).dst_hops(), 0);
+
+  // The derived pair lookahead is the cross-rack source-side propagation:
+  // 150 ns access + (350 ns uplink + 300 ns ToR forward) = 800 ns.
+  EXPECT_EQ(sys.sharded().lookahead(0, 1), sim::ns(800));
+  EXPECT_EQ(sys.sharded().lookahead(1, 0), sim::ns(800));
+}
+
+TEST(RackSharding, MisalignedPlacementsAreRejected) {
+  core::SystemConfig cfg = core::system_l();
+  cfg.wiring = core::SystemConfig::Wiring::kRack;
+  cfg.rack = two_by_two();
+  // Rack 0 = hosts {0, 1}: splitting it across shards must throw.
+  EXPECT_THROW(core::System(cfg, 4, 2, {0, 1, 0, 1}), std::invalid_argument);
+  // Rack-aligned but reversed placement is fine.
+  EXPECT_NO_THROW(core::System(cfg, 4, 2, {1, 1, 0, 0}));
+  // Host count must match the rack shape.
+  EXPECT_THROW(core::System(cfg, 3, 1), std::invalid_argument);
+}
+
+// --- Regression: lookahead sentinel overflow --------------------------
+//
+// fabric::Network::min_cross_lookahead returns Engine::kNoEvent for
+// partitions with no cross-shard path. Pre-fix, set_lookahead stored the
+// raw sentinel and window arithmetic (T + L) wrapped sim::Time.
+
+TEST(LookaheadMatrix, SentinelClampsToUnbounded) {
+  sim::ShardedEngine se(2);
+  se.set_lookahead(sim::Engine::kNoEvent);
+  EXPECT_EQ(se.lookahead(), sim::ShardedEngine::kUnboundedLookahead);
+  EXPECT_EQ(se.lookahead(0, 1), sim::ShardedEngine::kUnboundedLookahead);
+
+  // Matrix form clamps the same way.
+  sim::ShardedEngine sm(2);
+  sm.set_lookahead(std::vector<Time>(4, sim::Engine::kNoEvent));
+  EXPECT_EQ(sm.lookahead(1, 0), sim::ShardedEngine::kUnboundedLookahead);
+
+  // sat_add can no longer wrap: the window edge saturates at the sentinel.
+  EXPECT_EQ(sim::ShardedEngine::sat_add(
+                sim::Engine::kNoEvent, sim::ShardedEngine::kUnboundedLookahead),
+            sim::Engine::kNoEvent);
+  EXPECT_EQ(sim::ShardedEngine::sat_add(sim::ns(1000), sim::ns(500)),
+            sim::ns(1500));
+
+  // Unbounded shards run their (independent) events to completion. One
+  // flag per shard: with no cross-shard traffic the workers never
+  // synchronize mid-run, so a shared counter would be a data race.
+  bool ran0 = false;
+  bool ran1 = false;
+  se.shard(0).call_at(sim::ns(5000), [&ran0] { ran0 = true; });
+  se.shard(1).call_at(sim::ns(7000), [&ran1] { ran1 = true; });
+  se.run();
+  EXPECT_TRUE(ran0);
+  EXPECT_TRUE(ran1);
+}
+
+// --- Per-pair lookahead matrix ----------------------------------------
+
+TEST(LookaheadMatrix, ValidatesShapeAndEntries) {
+  sim::ShardedEngine se(3);
+  EXPECT_THROW(se.set_lookahead(std::vector<Time>(4, sim::ns(100))),
+               std::invalid_argument);  // wrong size (needs 9)
+  std::vector<Time> m(9, sim::ns(100));
+  m[0 * 3 + 1] = 0;
+  EXPECT_THROW(se.set_lookahead(m), std::invalid_argument);
+  m[0 * 3 + 1] = -sim::ns(5);
+  EXPECT_THROW(se.set_lookahead(m), std::invalid_argument);
+  // Diagonal entries are ignored (a shard needs no lookahead to itself).
+  m[0 * 3 + 1] = sim::ns(100);
+  m[0] = m[4] = m[8] = 0;
+  EXPECT_NO_THROW(se.set_lookahead(m));
+  EXPECT_EQ(se.lookahead(), sim::ns(100));
+}
+
+TEST(LookaheadMatrix, ClosesOverRelays) {
+  // Direct bounds: 0 -> 1 at 100 ns, 1 -> 2 at 100 ns, everything else
+  // unbounded. An effect can still relay 0 -> 1 -> 2, so the closed bound
+  // for (0, 2) must be 200 ns, not unbounded.
+  sim::ShardedEngine se(3);
+  std::vector<Time> m(9, sim::ShardedEngine::kUnboundedLookahead);
+  m[0 * 3 + 1] = sim::ns(100);
+  m[1 * 3 + 2] = sim::ns(100);
+  se.set_lookahead(m);
+  EXPECT_EQ(se.lookahead(0, 1), sim::ns(100));
+  EXPECT_EQ(se.lookahead(1, 2), sim::ns(100));
+  EXPECT_EQ(se.lookahead(0, 2), sim::ns(200));
+  // No route back: the reverse directions stay unbounded.
+  EXPECT_EQ(se.lookahead(2, 0), sim::ShardedEngine::kUnboundedLookahead);
+  EXPECT_EQ(se.lookahead(1, 0), sim::ShardedEngine::kUnboundedLookahead);
+}
+
+TEST(LookaheadMatrix, EnforcesPairBoundsNotTheGlobalMin) {
+  // Pair (0, 1) is tight at 100 ns; everything touching shard 2 is 1 us.
+  // A 0 -> 2 post dated only 100 ns out clears the global minimum but
+  // violates its pair bound — the protocol must reject it.
+  auto make = [] {
+    auto se = std::make_unique<sim::ShardedEngine>(3);
+    std::vector<Time> m(9, sim::ns(1000));
+    m[0 * 3 + 1] = m[1 * 3 + 0] = sim::ns(100);
+    se->set_lookahead(m);
+    return se;
+  };
+  {
+    auto se = make();
+    sim::Engine& e0 = se->shard(0);
+    e0.call_at(sim::ns(1000), [&, se = se.get()] {
+      e0.cross_post(se->shard(2), e0.now() + sim::ns(100),
+                    sim::InlineFn([] {}));
+    });
+    EXPECT_THROW(se->run(), std::logic_error);
+  }
+  {
+    // The same dating is fine on the tight pair.
+    auto se = make();
+    sim::Engine& e0 = se->shard(0);
+    Time hit = -1;
+    e0.call_at(sim::ns(1000), [&, se = se.get()] {
+      e0.cross_post(se->shard(1), e0.now() + sim::ns(100),
+                    sim::InlineFn([&, se] { hit = se->shard(1).now(); }));
+    });
+    se->run();
+    EXPECT_EQ(hit, sim::ns(1100));
+  }
+}
+
+TEST(LookaheadMatrix, AdaptiveWindowsBeatTheUniformMinimum) {
+  // Shard 2 carries a long event train (200 events, 1 us apart) and is
+  // 1 ms of lookahead away from everyone; shards 0 and 1 interact on a
+  // tight 100 ns pair. Under the old uniform protocol the global window is
+  // the 100 ns minimum and shard 2 crawls through its train one window per
+  // event; the per-pair matrix lets shard 2's window stretch to its own
+  // 1 ms bounds and swallow the train whole.
+  static constexpr int kEvents = 200;
+  auto run_case = [](bool per_pair) {
+    sim::ShardedEngine se(3);
+    if (per_pair) {
+      std::vector<Time> m(9, sim::ns(1'000'000));
+      m[0 * 3 + 1] = m[1 * 3 + 0] = sim::ns(100);
+      se.set_lookahead(m);
+    } else {
+      se.set_lookahead(sim::ns(100));  // the uniform global minimum
+    }
+    sim::Engine& e0 = se.shard(0);
+    int delivered = 0;
+    int ticks = 0;
+    e0.call_at(sim::ns(1000), [&, &se = se] {
+      e0.cross_post(se.shard(1), e0.now() + sim::ns(100),
+                    sim::InlineFn([&] { ++delivered; }));
+    });
+    for (int i = 0; i < kEvents; ++i) {
+      se.shard(2).call_at(sim::ns(1000) * (i + 1), [&] { ++ticks; });
+    }
+    se.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(ticks, kEvents);
+    return se.stats().windows;
+  };
+  const std::uint64_t uniform = run_case(false);
+  const std::uint64_t adaptive = run_case(true);
+  EXPECT_GT(uniform, static_cast<std::uint64_t>(kEvents) / 2);
+  EXPECT_LT(adaptive, uniform / 4);
+}
+
+// --- Bit-identity: perftest on a rack fabric --------------------------
+//
+// Client on host 0, server on host 7 — the far corner of a 4-rack x
+// 2-host leaf-spine — with the default block placement (rack-aligned at
+// 1, 2 and 4 shards). A sharded run is only correct if it reproduces the
+// single-engine simulation bit-for-bit.
+
+perftest::Params rack_params(perftest::TestOp op, std::size_t shards) {
+  perftest::Params p;
+  p.op = op;
+  p.msg_size = 64;
+  p.iterations = 30;
+  p.warmup = 5;
+  p.racks = 4;
+  p.hosts_per_rack = 2;
+  p.shards = shards;
+  return p;
+}
+
+TEST(RackGolden, SendLatencyIsShardInvariant) {
+  const auto cfg = core::system_l();
+  const auto single = perftest::run_latency(cfg, rack_params(perftest::TestOp::kSend, 1));
+  EXPECT_GT(single.avg_us, 0.0);
+  for (std::size_t shards : {2u, 4u}) {
+    const auto r =
+        perftest::run_latency(cfg, rack_params(perftest::TestOp::kSend, shards));
+    EXPECT_EQ(r.avg_us, single.avg_us) << "shards=" << shards;
+    EXPECT_EQ(r.p50_us, single.p50_us) << "shards=" << shards;
+    EXPECT_EQ(r.p99_us, single.p99_us) << "shards=" << shards;
+    EXPECT_GT(r.shard_windows, 0u);
+    EXPECT_GT(r.shard_messages, 0u);
+  }
+}
+
+TEST(RackGolden, WriteAndReadLatencyAreShardInvariant) {
+  const auto cfg = core::system_l();
+  for (perftest::TestOp op :
+       {perftest::TestOp::kWrite, perftest::TestOp::kRead}) {
+    const auto single = perftest::run_latency(cfg, rack_params(op, 1));
+    const auto sharded = perftest::run_latency(cfg, rack_params(op, 4));
+    EXPECT_EQ(sharded.avg_us, single.avg_us);
+    EXPECT_EQ(sharded.p50_us, single.p50_us);
+    EXPECT_EQ(sharded.p99_us, single.p99_us);
+  }
+}
+
+TEST(RackGolden, BandwidthIsShardInvariant) {
+  const auto cfg = core::system_l();
+  auto params = [](std::size_t shards) {
+    perftest::Params p = rack_params(perftest::TestOp::kSend, shards);
+    p.msg_size = 8192;
+    p.iterations = 100;
+    return p;
+  };
+  const auto single = perftest::run_bandwidth(cfg, params(1));
+  EXPECT_GT(single.gbps, 0.0);
+  for (std::size_t shards : {2u, 4u}) {
+    const auto r = perftest::run_bandwidth(cfg, params(shards));
+    EXPECT_EQ(r.gbps, single.gbps) << "shards=" << shards;
+    EXPECT_EQ(r.elapsed, single.elapsed) << "shards=" << shards;
+    EXPECT_EQ(r.messages, single.messages) << "shards=" << shards;
+  }
+}
+
+TEST(RackGolden, CanonicalTraceIsShardInvariant) {
+  const auto cfg = core::system_l();
+  auto capture = [&](std::size_t shards) {
+    perftest::Params p = rack_params(perftest::TestOp::kSend, shards);
+    p.msg_size = 256;
+    p.iterations = 10;
+    p.warmup = 2;
+    p.capture_trace = true;
+    auto r = perftest::run_latency(cfg, p);
+    EXPECT_EQ(r.trace_dropped, 0u);
+    return trace::canonical_trace(std::move(r.trace));
+  };
+  const auto t1 = capture(1);
+  const auto t2 = capture(2);
+  const auto t4 = capture(4);
+  ASSERT_FALSE(t1.empty());
+  ASSERT_EQ(t1.size(), t2.size());
+  ASSERT_EQ(t1.size(), t4.size());
+  EXPECT_EQ(0, std::memcmp(t1.data(), t2.data(),
+                           t1.size() * sizeof(trace::Record)));
+  EXPECT_EQ(0, std::memcmp(t1.data(), t4.data(),
+                           t1.size() * sizeof(trace::Record)));
+}
+
+}  // namespace
+}  // namespace cord
