@@ -17,8 +17,11 @@
 // the uplink segment of a route is reserved by the sending host's shard
 // and the downlink segment by the receiving host's shard. Only the
 // timestamped boundary arrival crosses shards, which preserves the
-// sharding invariant of sim/sharded.hpp; compute_routes() verifies the
-// src-prefix/dst-suffix split for every routed pair and rejects
+// sharding invariant of sim/sharded.hpp. The src-prefix/dst-suffix split
+// point (Path::src_hops) is *topological* — climbing hops are source-
+// side, descending hops destination-side — so it is identical at every
+// shard count; compute_routes() validates that the placement's engine
+// bindings agree with that split for every routed pair and rejects
 // placements that would make a middle hop race (e.g. a rack whose hosts
 // straddle shards). The source-side propagation of a route is therefore a
 // lower bound on cross-shard latency, i.e. the conservative lookahead of
@@ -54,11 +57,17 @@ struct Hop {
 };
 
 /// The directed path from a source host towards a destination host: up to
-/// kMaxHops store-and-forward hops. The first `src_hops` hops are bound to
-/// the source's engine and reserved by the sender; the remaining hops are
-/// bound to the destination's engine and reserved at arrival time (plain
-/// data crosses the shard boundary, never a Resource). A direct link or a
-/// loopback is the 1-hop special case with src_hops == hop_count == 1.
+/// kMaxHops store-and-forward hops. The first `src_hops` hops are the
+/// tier-climbing (source-side) segment, reserved by the sender; the
+/// remaining tier-descending hops are reserved at arrival time (plain
+/// data crosses the shard boundary, never a Resource). The split is a
+/// function of the route's shape alone — NOT of shard placement — so the
+/// boundary (and everything dated at it, e.g. UD completions and the
+/// ctrl-lane handoff) is identical in fused and sharded execution; in a
+/// sharded run compute_routes additionally validates that the prefix is
+/// engine-bound to the source and the suffix to the destination. A direct
+/// link or a loopback is the 1-hop special case with src_hops ==
+/// hop_count == 1.
 struct Path {
   static constexpr std::size_t kMaxHops = 4;  // host->ToR->spine->ToR->host
   std::array<Hop, kMaxHops> hops{};
@@ -291,10 +300,12 @@ class Network {
 
   /// Compute static shortest-path routes between every host pair (BFS by
   /// hop count, ties broken towards lower node ids — deterministic), and
-  /// validate the sharding split of every route: a prefix of hops bound to
-  /// the source's engine followed by a suffix bound to the destination's.
-  /// Throws std::invalid_argument for placements that would make a middle
-  /// hop race (defined in topology.cpp).
+  /// split each route topologically: tier-climbing hops form the source
+  /// prefix, tier-descending hops the destination suffix (identical at
+  /// every shard count). Validates that the prefix is driven by the
+  /// source's engine and the suffix by the destination's; throws
+  /// std::invalid_argument for placements that would make a hop race
+  /// (defined in topology.cpp).
   void compute_routes();
 
   /// Conservative lookahead of a partition: the minimum source-side

@@ -82,33 +82,55 @@ void Network::compute_routes() {
       RouteEntry entry;
       entry.nodes = nodes;
       entry.path.hop_count = static_cast<std::uint8_t>(hops);
-      // Sharding split: every route must be a prefix of hops driven by the
-      // source's engine followed by a suffix driven by the destination's —
-      // that is what lets the sender reserve the uplinks, the receiver the
-      // downlinks, and only a timestamp cross the boundary.
+      // Sharding split: the first src_hops hops are reserved by the
+      // sender, the rest by the receiver, and only a timestamped arrival
+      // crosses the boundary. The split point must be a pure function of
+      // the route's *shape*, never of shard placement — otherwise fused
+      // (1-shard) and sharded runs would reserve different segments, date
+      // UD completions at different points, and hand control packets to
+      // the non-contending suffix lane at different hops, breaking the
+      // bit-identity guarantee. The tier structure gives exactly that: a
+      // hop leaving its lower-or-equal-tier upstream endpoint (climbing)
+      // is driven by that endpoint and belongs to the source side; a hop
+      // dropping down a tier is driven by its downstream endpoint and
+      // belongs to the destination side. Leaf-spine routes climb then
+      // descend, so the result is always a prefix/suffix split.
       sim::Engine* const se = &engine_of_(src);
       sim::Engine* const de = &engine_of_(dst);
       std::size_t prefix = 0;
-      bool in_prefix = true;
+      bool descending = false;
       for (std::size_t i = 0; i < hops; ++i) {
         const NodeId u = nodes[i];
-        Link* link = parent[nodes[i + 1]].second;
+        const NodeId v = nodes[i + 1];
+        Link* link = parent[v].second;
         entry.path.hops[i] =
             Hop{link->tx_from(u), link->bandwidth(),
                 link->propagation() + forward_latency_of(u)};
-        sim::Engine* he = link->engine_from(u);
-        if (in_prefix && he == se) {
-          ++prefix;
-        } else if (he == de) {
-          in_prefix = false;
-        } else {
+        const bool climbs = tier_of(u) <= tier_of(v);
+        if (climbs && descending) {
+          throw std::invalid_argument(
+              "Network::compute_routes: the route from " +
+              std::to_string(src) + " to " + std::to_string(dst) +
+              " climbs tiers again after descending (hop " +
+              std::to_string(u) + " -> " + std::to_string(v) +
+              ") — only climb-then-descend shapes split into a sender "
+              "prefix and a receiver suffix");
+        }
+        if (!climbs) descending = true;
+        if (!descending) ++prefix;
+        // Placement validation: the topological prefix must be driven by
+        // the source's engine and the suffix by the destination's, or a
+        // middle hop's resource would be touched from two shard threads.
+        sim::Engine* const he = link->engine_from(u);
+        if (he != (descending ? de : se)) {
           throw std::invalid_argument(
               "Network::compute_routes: hop " + std::to_string(u) + " -> " +
-              std::to_string(nodes[i + 1]) + " of the route from " +
+              std::to_string(v) + " of the route from " +
               std::to_string(src) + " to " + std::to_string(dst) +
-              " is driven by neither endpoint's engine — the placement "
-              "splits a rack across shards; sharded rack topologies need "
-              "rack-aligned placements");
+              " is not driven by the " +
+              (descending ? "destination" : "source") +
+              "'s engine — the placement splits a rack across shards; "
+              "sharded rack topologies need rack-aligned placements");
         }
       }
       entry.path.src_hops = static_cast<std::uint8_t>(prefix);

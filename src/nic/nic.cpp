@@ -313,8 +313,10 @@ std::vector<Nic::ChunkArrival> Nic::schedule_chain_src(Nic& dst,
     // Source-side segment only: on a routed path this is the uplink hops
     // bound to this shard; the arrival timestamp is the chunk crossing the
     // shard boundary (== delivery for a direct wire).
-    const sim::Time w = p.reserve_src(s, chunk + cfg_.header_bytes);
-    out.push_back(ChunkArrival{w, static_cast<std::uint32_t>(chunk)});
+    const std::uint32_t wire =
+        static_cast<std::uint32_t>(chunk) + cfg_.header_bytes;
+    const sim::Time w = p.reserve_src(s, wire);
+    out.push_back(ChunkArrival{w, static_cast<std::uint32_t>(chunk), wire});
     left -= chunk;
   } while (left > 0);
   return out;
@@ -332,7 +334,7 @@ Nic::TxTimes Nic::reserve_dst_chain(const fabric::Path& p,
   // topologies.
   TxTimes t{engine_->now(), engine_->now()};
   for (const ChunkArrival& c : chunks) {
-    t.wire_done = p.reserve_dst(c.at, c.bytes + cfg_.header_bytes);
+    t.wire_done = p.reserve_dst(c.at, c.wire_bytes);
     t.delivered =
         include_dma
             ? dma_wr_.reserve_at(t.wire_done,
@@ -410,10 +412,12 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
     case Opcode::kSend:
     case Opcode::kSendWithImm: {
       // UD always takes the boundary-split path, even on one engine: the
-      // unreliable send completes at its local wire egress (the end of the
-      // source-side segment), which keeps the completion time — and thus
-      // the whole run — identical at every shard count. On a direct wire
-      // the boundary IS the delivery, so two-host results are unchanged.
+      // unreliable send completes at its local wire egress — the end of
+      // the path's source-side segment, a topological point (the tier-
+      // climbing prefix; see Path::src_hops) that does not depend on
+      // shard placement — which keeps the completion time, and thus the
+      // whole run, identical at every shard count. On a direct wire the
+      // boundary IS the delivery, so two-host results are unchanged.
       if (cross || is_ud) {
         auto arrivals = schedule_chain_src(*dst, len, wr.inline_data);
         const sim::Time wire_done = arrivals.back().at;
@@ -903,10 +907,13 @@ void Nic::remote_read_response(std::uint32_t qpn, SenderMeta m,
 void Nic::send_ctrl(Nic& dst, sim::Time earliest, sim::InlineFn fn) {
   // The ctrl packet serializes on the path's source-side segment (always
   // shard-local) and rides a non-contending priority lane over the
-  // destination side (dst_latency — the same formula in fused and split
-  // execution, which keeps them bit-identical); only the arrival callback
-  // may cross shards, so callers must capture nothing but plain data and
-  // `dst`-side state in `fn`.
+  // destination side (dst_latency). The segment split is topological
+  // (Path::src_hops is placement-independent), so fused and split runs
+  // reserve the same hops and apply the same latency formula to the same
+  // suffix — ctrl packets never contend on destination-side downlinks in
+  // either mode, and the two stay bit-identical even under converging
+  // traffic. Only the arrival callback may cross shards, so callers must
+  // capture nothing but plain data and `dst`-side state in `fn`.
   fabric::Path p = network_->path(node_, dst.node());
   const sim::Time arrive = p.reserve_src(earliest, cfg_.ack_bytes) +
                            p.dst_latency(cfg_.ack_bytes);

@@ -155,7 +155,13 @@ class Nic {
   /// the same timestamps the fused schedule_chain would have produced.
   struct ChunkArrival {
     sim::Time at = 0;
-    std::uint32_t bytes = 0;
+    std::uint32_t bytes = 0;  ///< payload bytes (sizes the dst DMA write)
+    /// Bytes on the wire: payload plus the *sender's* per-packet header.
+    /// Carried with the chunk so the destination shard replays the
+    /// suffix-hop reservations with the same wire size the fused
+    /// schedule_chain uses — with heterogeneous per-NIC header_bytes the
+    /// receiver's config would differ.
+    std::uint32_t wire_bytes = 0;
   };
 
   static std::byte* mem(std::uintptr_t addr) {

@@ -102,20 +102,26 @@ class Engine {
   /// visible to callers lets the compiler collapse a schedule→dispatch
   /// ping-pong into register traffic.
   Time run() {
-    while (!queue_.empty()) {
-      const Item item = queue_.pop();
-      now_ = item.t;
-      dispatch(item.payload);
+    if (!queue_.empty()) {
+      do {
+        const Item item = queue_.pop();
+        now_ = item.t;
+        dispatch(item.payload);
+      } while (!queue_.empty());
+      last_event_ = now_;
     }
     return now_;
   }
   /// Run until the queue drains or virtual time would pass `deadline`.
   /// Events after `deadline` stay queued; now() is clamped to `deadline`.
   Time run_until(Time deadline) {
-    while (!queue_.empty() && queue_.top().t <= deadline) {
-      const Item item = queue_.pop();
-      now_ = item.t;
-      dispatch(item.payload);
+    if (!queue_.empty() && queue_.top().t <= deadline) {
+      do {
+        const Item item = queue_.pop();
+        now_ = item.t;
+        dispatch(item.payload);
+      } while (!queue_.empty() && queue_.top().t <= deadline);
+      last_event_ = now_;
     }
     if (now_ < deadline) now_ = deadline;
     return now_;
@@ -394,6 +400,11 @@ class Engine {
   FnSlot* free_slots_ = nullptr;
   std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
   Time now_ = 0;
+  /// Virtual time of the latest event dispatched by run()/run_until().
+  /// Conservative-window execution parks now_ at window edges between
+  /// rounds; the shard coordinator reads this to report (and restore) the
+  /// true final time, which matches the single-engine run bit-for-bit.
+  Time last_event_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_root_id_ = 1;
   std::uint64_t events_processed_ = 0;

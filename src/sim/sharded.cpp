@@ -217,6 +217,11 @@ Time ShardedEngine::run_parallel() {
   mode_ = Mode::kParallel;
   stop_ = false;
   error_ = nullptr;
+  // Baseline for the final-time computation below: clocks may start above
+  // any event this run will execute (raised by sync_clocks or a sequential
+  // phase), and the result must never move time backwards past that.
+  Time base = 0;
+  for (const auto& e : engines_) base = std::max(base, e->now_);
 
   // Two barriers per window: `start` publishes window_end_ (and stop_) to
   // the workers; `finish` publishes queue/mailbox state back to the
@@ -263,9 +268,26 @@ Time ShardedEngine::run_parallel() {
   std::vector<Time> next(n);
   for (;;) {
     Time next_min = Engine::kNoEvent;
+    Time next_max_finite = 0;
     for (std::size_t i = 0; i < n; ++i) {
       next[i] = engines_[i]->next_event_time();
       next_min = std::min(next_min, next[i]);
+      if (next[i] != Engine::kNoEvent) {
+        next_max_finite = std::max(next_max_finite, next[i]);
+      }
+    }
+    // Event times at or past kUnboundedLookahead (kNoEvent / 2) would be
+    // indistinguishable from the unbounded-window sentinel in the edge
+    // arithmetic below (their sat_add can saturate to kNoEvent) — fail
+    // loudly instead of silently degrading the synchronization (~53 days
+    // of simulated picoseconds; nothing in this repo gets close).
+    if (next_max_finite >= kUnboundedLookahead && !error_) {
+      error_ = std::make_exception_ptr(std::logic_error(
+          "ShardedEngine: event time " + std::to_string(next_max_finite) +
+          " ps has reached kUnboundedLookahead (kNoEvent / 2) — the "
+          "conservative-window arithmetic cannot distinguish such times "
+          "from the unbounded sentinel; the simulated time domain is "
+          "exhausted"));
     }
     if (next_min == Engine::kNoEvent || error_) {
       stop_ = true;
@@ -283,16 +305,22 @@ Time ShardedEngine::run_parallel() {
     // peer gets an unbounded window. With a uniform matrix every end_k
     // equals min(T) + L — exactly the classic global window.
     for (std::size_t k = 0; k < n; ++k) {
-      Time end = next[k] == Engine::kNoEvent
-                     ? Engine::kNoEvent
-                     : sat_add(next[k], out_min_[k]);
+      // A window is unbounded only when every contributing term is the
+      // kUnboundedLookahead sentinel (k can reach no peer AND no live
+      // peer can reach k) — a finite edge stays finite no matter how
+      // large, so a legitimately late event never silently detaches its
+      // shard from the synchronization (the guard above bounds event
+      // times, so the finite sat_adds here cannot saturate to kNoEvent).
+      Time end = Engine::kNoEvent;
+      if (next[k] != Engine::kNoEvent && out_min_[k] < kUnboundedLookahead) {
+        end = sat_add(next[k], out_min_[k]);
+      }
       for (std::size_t j = 0; j < n; ++j) {
         if (j == k || next[j] == Engine::kNoEvent) continue;
         const Time la = lookahead_[j * n + k];
         if (la >= kUnboundedLookahead) continue;
         end = std::min(end, sat_add(next[j], la));
       }
-      if (end >= kUnboundedLookahead) end = Engine::kNoEvent;
       window_end_[k] = end;
     }
     start.arrive_and_wait();
@@ -307,8 +335,16 @@ Time ShardedEngine::run_parallel() {
   mode_ = Mode::kIdle;
 
   if (error_) std::rethrow_exception(error_);
-  Time m = 0;
-  for (const auto& e : engines_) m = std::max(m, e->now_);
+  // The workers park shard clocks at window edges (up to one lookahead
+  // past the last event), which would make the returned time — and any
+  // call_in() issued after the run — depend on the shard count. Report
+  // the latest *executed* event instead and align every clock to it: the
+  // same final state a single merged engine reaches. Rewinding a parked
+  // clock is safe here (all queues and mailboxes are empty), and shards
+  // that ran nothing are raised exactly as sync_clocks would.
+  Time m = base;
+  for (const auto& e : engines_) m = std::max(m, e->last_event_);
+  for (auto& e : engines_) e->now_ = m;
   return m;
 }
 

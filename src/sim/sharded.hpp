@@ -68,7 +68,10 @@ class ShardedEngine {
   /// T + lookahead can never wrap sim::Time; set_lookahead clamps any
   /// larger value (including the raw Engine::kNoEvent sentinel that
   /// fabric::Network::min_cross_lookahead returns for partitions with no
-  /// cross-shard path) down to this.
+  /// cross-shard path) down to this. Event times must stay below this
+  /// value too — run() fails loudly (std::logic_error) once any queued
+  /// event reaches it, rather than letting window arithmetic mistake a
+  /// large finite time for the sentinel and silently stop synchronizing.
   static constexpr Time kUnboundedLookahead = Engine::kNoEvent / 2;
 
   explicit ShardedEngine(std::size_t shard_count);
@@ -126,8 +129,11 @@ class ShardedEngine {
 
   /// Parallel conservative-window execution until every queue and mailbox
   /// drains. With one shard this is exactly Engine::run(). Returns the
-  /// maximum final shard time. Rethrows the first exception thrown inside
-  /// any shard.
+  /// time of the latest executed event — never the conservative-window
+  /// parking horizon — and aligns every shard clock to it, so the
+  /// returned time and the post-run clocks match the single-engine run
+  /// bit-for-bit at any shard count. Rethrows the first exception thrown
+  /// inside any shard.
   Time run();
 
   /// Raise every shard clock to the current global maximum.

@@ -5,13 +5,17 @@
 // shards-vs-single-engine bit-identity of perftest runs on a rack fabric.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "core/system.hpp"
 #include "fabric/link.hpp"
 #include "fabric/topology.hpp"
+#include "nic/nic.hpp"
 #include "perftest/perftest.hpp"
 #include "sim/sharded.hpp"
 #include "trace/export.hpp"
@@ -94,11 +98,17 @@ TEST(RackTopology, RoutedPathsFollowLeafSpine) {
             cfg.uplink_propagation + cfg.spine_latency);
   EXPECT_EQ(cross.hops[3].propagation, cfg.host_propagation + cfg.tor_latency);
   EXPECT_EQ(cross.propagation(), sim::ns(150 + 650 + 800 + 450));
-  // Single-engine fabric: every hop is driven by the (one) source engine,
-  // so the whole chain is source-side.
-  EXPECT_EQ(cross.src_hops, cross.hop_count);
-  EXPECT_EQ(cross.dst_hops(), 0);
-  EXPECT_EQ(cross.src_propagation(), cross.propagation());
+  // The src/dst split is topological (climbing hops vs descending hops),
+  // NOT placement-derived: even on a single-engine fabric the cross-rack
+  // route splits at the spine, exactly as it does when sharded. (Pre-fix,
+  // a 1-shard run reported src_hops == hop_count here, which made UD
+  // completion times and ctrl-lane handoffs placement-dependent.)
+  EXPECT_EQ(cross.src_hops, 2);
+  EXPECT_EQ(cross.dst_hops(), 2);
+  EXPECT_EQ(cross.src_propagation(), sim::ns(150 + 650));
+  // Intra-rack: up to the ToR is source-side, down to the host dst-side.
+  EXPECT_EQ(intra.src_hops, 1);
+  EXPECT_EQ(intra.dst_hops(), 1);
 
   // Routes are directional and deterministic: the reverse path mirrors.
   EXPECT_EQ(net.route(2, 0), (std::vector<fabric::NodeId>{2, 5, 6, 4, 0}));
@@ -174,7 +184,7 @@ TEST(RackTopology, RewiringABuiltRackThrows) {
 
 // --- Sharded rack systems ---------------------------------------------
 
-TEST(RackSharding, PrefixSuffixSplitFollowsRackPlacement) {
+TEST(RackSharding, PrefixSuffixSplitIsTopological) {
   core::SystemConfig cfg = core::system_l();
   cfg.wiring = core::SystemConfig::Wiring::kRack;
   cfg.rack = two_by_two();
@@ -190,9 +200,11 @@ TEST(RackSharding, PrefixSuffixSplitFollowsRackPlacement) {
   EXPECT_EQ(cross.src_propagation(),
             cfg.rack.host_propagation + cfg.rack.uplink_propagation +
                 cfg.rack.tor_latency);
-  // Intra-rack routes never leave the shard: the whole chain is src-side.
-  EXPECT_EQ(net.path(0, 1).src_hops, 2);
-  EXPECT_EQ(net.path(0, 1).dst_hops(), 0);
+  // Intra-rack routes never leave the shard, but the topological split
+  // still puts the descending ToR->host hop on the destination side —
+  // the same split a 1-shard run reports.
+  EXPECT_EQ(net.path(0, 1).src_hops, 1);
+  EXPECT_EQ(net.path(0, 1).dst_hops(), 1);
 
   // The derived pair lookahead is the cross-rack source-side propagation:
   // 150 ns access + (350 ns uplink + 300 ns ToR forward) = 800 ns.
@@ -246,6 +258,40 @@ TEST(LookaheadMatrix, SentinelClampsToUnbounded) {
   se.run();
   EXPECT_TRUE(ran0);
   EXPECT_TRUE(ran1);
+}
+
+// --- Regression: finite times near the sentinel ------------------------
+//
+// Pre-fix, run_parallel converted any *finite* window edge that reached
+// kUnboundedLookahead into "unbounded", so a shard whose next event sat
+// within one lookahead of the sentinel free-ran past its peers: cross
+// posts landed behind the receiver's clock and were silently clamped and
+// reordered. Event times that large are out of the protocol's domain;
+// they must fail loudly, never desynchronize quietly.
+
+TEST(LookaheadMatrix, EventAtTheSentinelFailsLoudly) {
+  sim::ShardedEngine se(2);
+  se.set_lookahead(sim::ns(100));
+  se.shard(0).call_at(sim::ShardedEngine::kUnboundedLookahead, [] {});
+  se.shard(1).call_at(sim::ns(10), [] {});
+  EXPECT_THROW(se.run(), std::logic_error);
+}
+
+TEST(LookaheadMatrix, SentinelAdjacentWindowFailsLoudlyNotSilently) {
+  // next0 is within one lookahead of the sentinel, so the edge computed
+  // from it crosses the threshold. Pre-fix both shards went unbounded and
+  // the cross post (dated past the sentinel) was clamped behind shard 1's
+  // clock with only a counter to show for it; now the run throws.
+  const Time base = sim::ShardedEngine::kUnboundedLookahead - sim::ns(50);
+  sim::ShardedEngine se(2);
+  se.set_lookahead(sim::ns(100));
+  sim::Engine& e0 = se.shard(0);
+  e0.call_at(base, [&] {
+    e0.cross_post(se.shard(1), base + sim::ns(100), sim::InlineFn([] {}));
+  });
+  se.shard(1).call_at(base + sim::ns(20), [] {});
+  EXPECT_THROW(se.run(), std::logic_error);
+  EXPECT_EQ(se.clamped_events(), 0u);
 }
 
 // --- Per-pair lookahead matrix ----------------------------------------
@@ -441,6 +487,255 @@ TEST(RackGolden, CanonicalTraceIsShardInvariant) {
                            t1.size() * sizeof(trace::Record)));
   EXPECT_EQ(0, std::memcmp(t1.data(), t4.data(),
                            t1.size() * sizeof(trace::Record)));
+}
+
+TEST(RackGolden, UdSendIsShardInvariant) {
+  // Regression for the placement-derived prefix split: UD completes a send
+  // at the end of the path's source-side segment, so a 1-shard rack run
+  // (src_hops == hop_count pre-fix) dated client completions at full
+  // 4-hop delivery while a sharded run dated them at the rack boundary —
+  // every UD latency differed by the downstream propagation. The split is
+  // topological now, so the completion point is the same at every shard
+  // count.
+  const auto cfg = core::system_l();
+  auto capture = [&](std::size_t shards) {
+    perftest::Params p = rack_params(perftest::TestOp::kSend, shards);
+    p.transport = perftest::Transport::kUD;
+    p.msg_size = 512;
+    p.iterations = 10;
+    p.warmup = 2;
+    p.capture_trace = true;
+    return perftest::run_latency(cfg, p);
+  };
+  const auto single = capture(1);
+  EXPECT_GT(single.avg_us, 0.0);
+  const auto t1 = trace::canonical_trace(std::move(capture(1).trace));
+  ASSERT_FALSE(t1.empty());
+  for (std::size_t shards : {2u, 4u}) {
+    const auto r = capture(shards);
+    EXPECT_EQ(r.avg_us, single.avg_us) << "shards=" << shards;
+    EXPECT_EQ(r.p50_us, single.p50_us) << "shards=" << shards;
+    EXPECT_EQ(r.p99_us, single.p99_us) << "shards=" << shards;
+    auto rt = capture(shards);
+    const auto ts = trace::canonical_trace(std::move(rt.trace));
+    ASSERT_EQ(t1.size(), ts.size()) << "shards=" << shards;
+    EXPECT_EQ(0, std::memcmp(t1.data(), ts.data(),
+                             t1.size() * sizeof(trace::Record)))
+        << "shards=" << shards;
+  }
+}
+
+// --- Bit-identity: NIC-level rack runs ---------------------------------
+//
+// core::System shares one NicConfig across hosts and its workloads never
+// converge on a downlink, so these regressions drive NICs directly over a
+// hand-built sharded rack.
+
+/// Hosts wired through a rack preset over a ShardedEngine with a
+/// rack-aligned block placement (rack r's hosts, and its ToR, on shard
+/// r * shards / racks; the spine rides shard 0 — it drives no link
+/// direction, both directions of a tiered link bind to the lower-tier
+/// endpoint). Per-host NicConfigs, unlike core::System's shared one.
+struct RackNicFixture {
+  fabric::RackConfig rack;
+  sim::ShardedEngine sharded;
+  std::vector<std::size_t> placement;  // node (hosts then switches) -> shard
+  fabric::Network net;
+  nic::NicRegistry registry;
+  std::vector<std::unique_ptr<nic::Nic>> nics;
+
+  RackNicFixture(const fabric::RackConfig& r, std::size_t shards,
+                 const std::vector<nic::NicConfig>& cfgs)
+      : rack(r),
+        sharded(shards),
+        placement(make_placement(r, shards)),
+        net([this](fabric::NodeId n) -> sim::Engine& {
+          return sharded.shard(placement.at(n));
+        }) {
+    for (std::size_t i = 0; i < rack.host_count(); ++i) {
+      net.add_node(static_cast<fabric::NodeId>(i),
+                   sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
+    }
+    fabric::build_rack(net, rack);
+    if (shards > 1) {
+      sharded.set_lookahead(net.cross_lookahead_matrix(
+          [this](fabric::NodeId n) { return placement.at(n); }, shards));
+    }
+    for (std::size_t i = 0; i < rack.host_count(); ++i) {
+      nics.push_back(std::make_unique<nic::Nic>(
+          sharded.shard(placement.at(i)), net, registry,
+          static_cast<fabric::NodeId>(i), cfgs.at(i % cfgs.size())));
+    }
+  }
+
+  static std::vector<std::size_t> make_placement(const fabric::RackConfig& r,
+                                                 std::size_t shards) {
+    std::vector<std::size_t> p;
+    for (std::size_t h = 0; h < r.host_count(); ++h) {
+      p.push_back(r.rack_of(static_cast<fabric::NodeId>(h)) * shards /
+                  r.racks);
+    }
+    for (std::size_t rk = 0; rk < r.racks; ++rk) {
+      p.push_back(rk * shards / r.racks);  // ToR rides its rack
+    }
+    if (r.racks > 1) p.push_back(0);  // spine
+    return p;
+  }
+
+  struct RcPair {
+    nic::QueuePair* qp_a;
+    nic::QueuePair* qp_b;
+    nic::CompletionQueue* scq_a;
+    nic::CompletionQueue* rcq_a;
+    nic::CompletionQueue* scq_b;
+    nic::CompletionQueue* rcq_b;
+    nic::ProtectionDomainId pd_a;
+    nic::ProtectionDomainId pd_b;
+  };
+
+  RcPair connect_rc(std::size_t a, std::size_t b) {
+    RcPair p{};
+    nic::Nic& na = *nics.at(a);
+    nic::Nic& nb = *nics.at(b);
+    p.pd_a = na.alloc_pd();
+    p.pd_b = nb.alloc_pd();
+    p.scq_a = na.create_cq(1024);
+    p.rcq_a = na.create_cq(1024);
+    p.scq_b = nb.create_cq(1024);
+    p.rcq_b = nb.create_cq(1024);
+    p.qp_a = na.create_qp(
+        nic::QpConfig{nic::QpType::kRC, p.pd_a, p.scq_a, p.rcq_a, 128, 512, 0});
+    p.qp_b = nb.create_qp(
+        nic::QpConfig{nic::QpType::kRC, p.pd_b, p.scq_b, p.rcq_b, 128, 512, 0});
+    EXPECT_EQ(na.modify_qp(*p.qp_a, nic::QpState::kInit), nic::kOk);
+    EXPECT_EQ(na.modify_qp(*p.qp_a, nic::QpState::kRtr,
+                           {static_cast<fabric::NodeId>(b), p.qp_b->qpn()}),
+              nic::kOk);
+    EXPECT_EQ(na.modify_qp(*p.qp_a, nic::QpState::kRts), nic::kOk);
+    EXPECT_EQ(nb.modify_qp(*p.qp_b, nic::QpState::kInit), nic::kOk);
+    EXPECT_EQ(nb.modify_qp(*p.qp_b, nic::QpState::kRtr,
+                           {static_cast<fabric::NodeId>(a), p.qp_a->qpn()}),
+              nic::kOk);
+    EXPECT_EQ(nb.modify_qp(*p.qp_b, nic::QpState::kRts), nic::kOk);
+    return p;
+  }
+};
+
+/// Drain one successful completion from a CQ.
+nic::Cqe take_one(nic::CompletionQueue& cq) {
+  std::array<nic::Cqe, 4> wc;
+  EXPECT_EQ(cq.poll(wc), 1u) << "expected exactly one completion";
+  EXPECT_EQ(wc[0].status, nic::WcStatus::kSuccess);
+  return wc[0];
+}
+
+// Regression for the receiver-config suffix sizing: the boundary handoff
+// used to re-derive wire size as payload + the *receiver's* header_bytes,
+// so with per-NIC header configs a sharded run's suffix-hop occupancy
+// diverged from the fused run (which serialized the sender's framing on
+// every hop). The chunk now carries the sender's wire size.
+Time run_hetero_header_send(std::size_t shards) {
+  fabric::RackConfig r;
+  r.racks = 2;
+  r.hosts_per_rack = 1;
+  nic::NicConfig sender_cfg;  // default 58-byte framing
+  nic::NicConfig receiver_cfg;
+  receiver_cfg.header_bytes = 190;
+  RackNicFixture f(r, shards, {sender_cfg, receiver_cfg});
+  auto rc = f.connect_rc(0, 1);
+
+  std::vector<std::byte> src(8192, std::byte{0x5a});
+  std::vector<std::byte> dst(8192);
+  const auto& smr = f.nics[0]->register_mr(rc.pd_a, src.data(), src.size(),
+                                           nic::kAccessLocalWrite);
+  const auto& dmr = f.nics[1]->register_mr(rc.pd_b, dst.data(), dst.size(),
+                                           nic::kAccessLocalWrite);
+  nic::RecvWr rwr;
+  rwr.wr_id = 1;
+  rwr.sge = {reinterpret_cast<std::uintptr_t>(dst.data()),
+             static_cast<std::uint32_t>(dst.size()), dmr.lkey};
+  EXPECT_EQ(f.nics[1]->post_recv(*rc.qp_b, rwr), nic::kOk);
+  nic::SendWr swr;
+  swr.wr_id = 2;
+  swr.opcode = nic::Opcode::kSend;
+  swr.sge = {reinterpret_cast<std::uintptr_t>(src.data()),
+             static_cast<std::uint32_t>(src.size()), smr.lkey};
+  EXPECT_EQ(f.nics[0]->post_send(*rc.qp_a, swr), nic::kOk);
+
+  const Time end = f.sharded.run();
+  take_one(*rc.scq_a);
+  take_one(*rc.rcq_b);
+  EXPECT_EQ(dst, src);
+  return end;
+}
+
+TEST(RackSharding, HeterogeneousHeaderBytesAreShardInvariant) {
+  EXPECT_EQ(run_hetero_header_send(1), run_hetero_header_send(2));
+}
+
+// Regression for the placement-derived ctrl-lane split: host 1 streams a
+// multi-chunk write to host 2 (occupying the spine->ToR1 and ToR1->host2
+// downlinks) while host 0 issues a read of host 2's memory. Pre-fix a
+// fused run reserved ctrl packets (the read request; the write's ACK,
+// which shares the spine->ToR0 downlink with the read-response data)
+// through the *whole* path, queueing them behind the data stream, while a
+// sharded run priority-laned the downstream hops with the closed-form
+// latency — fused and sharded diverged under any converging traffic. The
+// topological split makes both reserve the same source-side hops and
+// formula the same suffix.
+Time run_fanin_read_under_write(std::size_t shards) {
+  fabric::RackConfig r;
+  r.racks = 2;
+  r.hosts_per_rack = 2;  // hosts 0, 1 | 2, 3
+  RackNicFixture f(r, shards, {nic::NicConfig{}});
+  auto reader = f.connect_rc(0, 2);
+  auto writer = f.connect_rc(1, 2);
+
+  std::vector<std::byte> read_dst(2048);
+  std::vector<std::byte> read_src(2048, std::byte{0x11});
+  std::vector<std::byte> write_src(32768, std::byte{0x22});
+  std::vector<std::byte> write_dst(32768);
+  const auto& rd = f.nics[0]->register_mr(reader.pd_a, read_dst.data(),
+                                          read_dst.size(),
+                                          nic::kAccessLocalWrite);
+  const auto& rs = f.nics[2]->register_mr(reader.pd_b, read_src.data(),
+                                          read_src.size(),
+                                          nic::kAccessRemoteRead);
+  const auto& ws = f.nics[1]->register_mr(writer.pd_a, write_src.data(),
+                                          write_src.size(),
+                                          nic::kAccessLocalWrite);
+  const auto& wd = f.nics[2]->register_mr(writer.pd_b, write_dst.data(),
+                                          write_dst.size(),
+                                          nic::kAccessRemoteWrite);
+
+  nic::SendWr write;
+  write.wr_id = 10;
+  write.opcode = nic::Opcode::kRdmaWrite;
+  write.sge = {reinterpret_cast<std::uintptr_t>(write_src.data()),
+               static_cast<std::uint32_t>(write_src.size()), ws.lkey};
+  write.remote_addr = reinterpret_cast<std::uintptr_t>(write_dst.data());
+  write.rkey = wd.rkey;
+  EXPECT_EQ(f.nics[1]->post_send(*writer.qp_a, write), nic::kOk);
+
+  nic::SendWr read;
+  read.wr_id = 11;
+  read.opcode = nic::Opcode::kRdmaRead;
+  read.sge = {reinterpret_cast<std::uintptr_t>(read_dst.data()),
+              static_cast<std::uint32_t>(read_dst.size()), rd.lkey};
+  read.remote_addr = reinterpret_cast<std::uintptr_t>(read_src.data());
+  read.rkey = rs.rkey;
+  EXPECT_EQ(f.nics[0]->post_send(*reader.qp_a, read), nic::kOk);
+
+  const Time end = f.sharded.run();
+  take_one(*writer.scq_a);
+  take_one(*reader.scq_a);
+  EXPECT_EQ(read_dst, read_src);
+  EXPECT_EQ(write_dst, write_src);
+  return end;
+}
+
+TEST(RackSharding, ConvergingDownlinkTrafficIsShardInvariant) {
+  EXPECT_EQ(run_fanin_read_under_write(1), run_fanin_read_under_write(2));
 }
 
 }  // namespace
