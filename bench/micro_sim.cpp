@@ -13,6 +13,7 @@
 #include "sim/engine.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/resource.hpp"
+#include "sim/rng.hpp"
 #include "sim/task.hpp"
 
 namespace {
@@ -30,18 +31,82 @@ void BM_EngineScheduleDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleDispatch);
 
-void BM_EngineQueueDepth1000(benchmark::State& state) {
+// Queue-backend A/B: fill the queue to `depth`, then drain, under the two
+// timestamp distributions that matter:
+//  * fifo — near-monotone arrival with 4-deep equal-timestamp bursts, the
+//    NIC model's doorbell/per-chunk completion pattern (the calendar
+//    queue's design target: O(1) amortized push/pop);
+//  * wide — uniform random over a span of `depth` microseconds, the
+//    adversarial spread that forces mid-bucket inserts and the calendar's
+//    far-future overflow band.
+// The bench_gate regression gate compares calendar vs heap on the fifo
+// shape at every depth (cmake/bench_gate.cmake).
+enum class Dist { kFifo, kWide };
+
+void BM_EngineQueueDepth(benchmark::State& state, sim::QueueKind kind,
+                         Dist dist) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::Time> ts(depth);
+  sim::Rng rng(0xD5EED5EEDull);
+  for (std::size_t i = 0; i < depth; ++i) {
+    ts[i] = dist == Dist::kFifo
+                ? sim::ns(static_cast<std::int64_t>(i / 4) * 12)
+                : static_cast<sim::Time>(rng.next_u64() %
+                                         (depth * 1'000'000ull));
+  }
   for (auto _ : state) {
-    sim::Engine engine;
+    sim::Engine engine(kind);
     std::uint64_t fired = 0;
-    for (int i = 0; i < 1000; ++i) {
-      engine.call_in(sim::ns(i), [&] { ++fired; });
+    for (const sim::Time t : ts) {
+      engine.call_at(t, [&fired] { ++fired; });
     }
     engine.run();
     benchmark::DoNotOptimize(fired);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
 }
-BENCHMARK(BM_EngineQueueDepth1000);
+// MinTime pinned above the harness default: the A/B ratio between the
+// two backends is a committed baseline (BENCH_micro_sim.json) and a gate
+// criterion, so these must average over enough iterations to flatten
+// this host's frequency/cache noise.
+BENCHMARK_CAPTURE(BM_EngineQueueDepth, heap_fifo, sim::QueueKind::kHeap,
+                  Dist::kFifo)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->MinTime(1.0);
+BENCHMARK_CAPTURE(BM_EngineQueueDepth, calendar_fifo,
+                  sim::QueueKind::kCalendar, Dist::kFifo)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->MinTime(1.0);
+BENCHMARK_CAPTURE(BM_EngineQueueDepth, heap_wide, sim::QueueKind::kHeap,
+                  Dist::kWide)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->MinTime(1.0);
+BENCHMARK_CAPTURE(BM_EngineQueueDepth, calendar_wide,
+                  sim::QueueKind::kCalendar, Dist::kWide)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->MinTime(1.0);
+
+// Ping-pong (push one, pop one) on the calendar backend — the pattern the
+// heap's one-item cache absorbs; the calendar must stay competitive.
+void BM_EngineScheduleDispatchCalendar(benchmark::State& state) {
+  sim::Engine engine(sim::QueueKind::kCalendar);
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    engine.call_in(sim::ns(10), [&] { ++fired; });
+    engine.run();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EngineScheduleDispatchCalendar);
 
 // --- Fast-path component benchmarks ------------------------------------
 

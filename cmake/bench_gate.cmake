@@ -89,6 +89,37 @@ foreach(_name ${BASE_NAMES})
   endif()
 endforeach()
 
+# --- 1b. calendar-vs-heap event-queue A/B ----------------------------------
+# The depth-swept BM_EngineQueueDepth family runs both event-queue
+# backends in the same fresh micro_sim pass. On the FIFO-like timestamp
+# distribution (the NIC model's common case and the calendar queue's
+# design target) the calendar backend must not be more than TOLERANCE
+# percent slower than the heap at any swept depth — at the deeper depths
+# it should be winning outright, and a wash here means the O(1) scheduler
+# has silently degraded into its overflow heap.
+foreach(_depth 1000 10000 100000)
+  # The family pins MinTime(1.0), which google-benchmark bakes into the
+  # benchmark name.
+  string(MAKE_C_IDENTIFIER
+         "BM_EngineQueueDepth/heap_fifo/${_depth}/min_time:1.000" _heap_id)
+  string(MAKE_C_IDENTIFIER
+         "BM_EngineQueueDepth/calendar_fifo/${_depth}/min_time:1.000" _cal_id)
+  if(NOT DEFINED FRESH_${_heap_id} OR NOT DEFINED FRESH_${_cal_id})
+    list(APPEND _failures
+         "queue A/B: BM_EngineQueueDepth .../${_depth} missing from fresh run")
+    continue()
+  endif()
+  check_regression("${FRESH_${_heap_id}}" "${FRESH_${_cal_id}}"
+                   "${TOLERANCE}" _pct)
+  if(_pct)
+    list(APPEND _failures
+         "calendar queue slower than heap on FIFO-like depth ${_depth}: ${FRESH_${_cal_id}} ns vs ${FRESH_${_heap_id}} ns (+${_pct}%, limit +${TOLERANCE}%)")
+  else()
+    message(STATUS "queue A/B (FIFO-like, depth ${_depth}): calendar "
+            "${FRESH_${_cal_id}} vs heap ${FRESH_${_heap_id}} ns — OK")
+  endif()
+endforeach()
+
 # --- 2. trace-overhead check ----------------------------------------------
 set(_trace "${OUT_DIR}/trace_overhead.json")
 execute_process(

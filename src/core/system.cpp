@@ -91,7 +91,7 @@ System::System(SystemConfig cfg, std::size_t host_count, std::size_t shards,
                std::vector<std::uint32_t> placement)
     : cfg_(std::move(cfg)),
       placement_(make_placement(host_count, shards, std::move(placement))),
-      sharded_(shards),
+      sharded_(shards, cfg_.event_queue),
       network_([this](fabric::NodeId n) -> sim::Engine& {
         return sharded_.shard(placement_.at(n));
       }) {
@@ -179,6 +179,14 @@ System::System(SystemConfig cfg, std::size_t host_count, std::size_t shards,
   });
   metrics_.callback_gauge("engine.clamped_events", [this] {
     return static_cast<std::int64_t>(sharded_.clamped_events());
+  });
+  // Event-queue health: depth high-water mark and (for the calendar
+  // backend) resize count — live views, zero per-event bookkeeping.
+  metrics_.callback_gauge("engine.queue_peak_depth", [this] {
+    return static_cast<std::int64_t>(sharded_.queue_peak_depth());
+  });
+  metrics_.callback_gauge("engine.queue_resizes", [this] {
+    return static_cast<std::int64_t>(sharded_.queue_resizes());
   });
 }
 

@@ -47,6 +47,11 @@ struct SystemConfig {
   bool cord_inline_support = true;
   /// Default for routing poll_cq through the kernel in CoRD mode.
   bool cord_poll_via_kernel = true;
+  /// Event-queue backend of every simulation engine: the 4-ary heap or
+  /// the calendar queue (the runtime queue=heap|calendar knob,
+  /// sim::parse_queue_kind). Both pop the identical (t, seq) order, so
+  /// every simulated result is bit-for-bit unchanged either way.
+  sim::QueueKind event_queue = sim::QueueKind::kHeap;
 
   /// Fabric topology between hosts.
   enum class Wiring {

@@ -17,6 +17,18 @@ Kernel::Kernel(sim::Engine& engine, nic::Nic& nic, KernelConfig cfg)
   metrics_.callback_gauge("kernel.interrupts", [this] {
     return static_cast<std::int64_t>(interrupts_);
   });
+  // This host's engine-queue health, surfaced through proc_read("metrics")
+  // alongside the kernel counters: live depth, high-water mark, and the
+  // calendar backend's resize count (0 under the heap backend).
+  metrics_.callback_gauge("engine.queue_depth", [this] {
+    return static_cast<std::int64_t>(engine_->pending_events());
+  });
+  metrics_.callback_gauge("engine.queue_peak_depth", [this] {
+    return static_cast<std::int64_t>(engine_->queue_peak_depth());
+  });
+  metrics_.callback_gauge("engine.queue_resizes", [this] {
+    return static_cast<std::int64_t>(engine_->queue_resizes());
+  });
 }
 
 const Kernel::TenantMetrics& Kernel::tenant_metrics(TenantId tenant) {

@@ -392,6 +392,7 @@ std::size_t topo_hosts(const Params& p) {
 /// two-host wire; a leaf-spine rack fabric whose access links inherit the
 /// config's wire bandwidth/propagation when Params::racks >= 1.
 core::SystemConfig topo_config(core::SystemConfig cfg, const Params& p) {
+  cfg.event_queue = p.queue;
   if (p.racks > 0) {
     cfg.wiring = core::SystemConfig::Wiring::kRack;
     cfg.rack.racks = p.racks;

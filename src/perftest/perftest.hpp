@@ -57,6 +57,10 @@ struct Params {
   /// block placement must be rack-aligned (shards must divide racks).
   std::size_t racks = 0;
   std::size_t hosts_per_rack = 2;
+  /// Event-queue backend (the queue=heap|calendar knob, forwarded to
+  /// SystemConfig::event_queue). Results are bit-identical either way —
+  /// asserted against the heap goldens in the test suite.
+  sim::QueueKind queue = sim::QueueKind::kHeap;
   /// Arm the system tracer for the run and return the captured records in
   /// the result (off by default: tracing must never tax a benchmark run).
   bool capture_trace = false;

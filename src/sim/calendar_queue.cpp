@@ -1,0 +1,122 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace cord::sim {
+
+QueueKind parse_queue_kind(std::string_view name) {
+  if (name == "heap") return QueueKind::kHeap;
+  if (name == "calendar") return QueueKind::kCalendar;
+  throw std::invalid_argument("unknown event queue \"" + std::string(name) +
+                              "\" (want heap|calendar)");
+}
+
+std::string_view queue_kind_name(QueueKind kind) {
+  return kind == QueueKind::kHeap ? "heap" : "calendar";
+}
+
+namespace {
+/// std::push_heap/pop_heap build a max-heap under "less"; inverting
+/// before() yields a min-heap on (t, seq).
+bool heap_after(const QueueItem& a, const QueueItem& b) { return b.before(a); }
+}  // namespace
+
+void CalendarQueue::insert_sorted(Bucket& b, std::uint32_t n) {
+  // Out-of-order arrival within a bucket: walk the (short — ~1-2 items
+  // at target occupancy) list to the insertion point. The caller already
+  // handled the empty-bucket and append-at-tail cases.
+  const QueueItem item = arena_[n].item;
+  if (item.before(arena_[b.head].item)) {
+    arena_[n].next = b.head;
+    b.head = n;
+    return;
+  }
+  std::uint32_t prev = b.head;
+  while (arena_[prev].next != kNil &&
+         arena_[arena_[prev].next].item.before(item)) {
+    prev = arena_[prev].next;
+  }
+  arena_[n].next = arena_[prev].next;
+  arena_[prev].next = n;
+  if (arena_[n].next == kNil) b.tail = n;
+}
+
+void CalendarQueue::overflow_push(QueueItem item) {
+  overflow_.push_back(item);
+  std::push_heap(overflow_.begin(), overflow_.end(), heap_after);
+}
+
+void CalendarQueue::jump_to_overflow() {
+  // The calendar is empty with items banked in the band: a full rebuild
+  // rebases onto the band minimum (which lands in bucket 0) and migrates
+  // everything the recalibrated window covers. One O(size) rebuild per
+  // idle gap — never a per-pop partition of the band.
+  resize(target_buckets());
+}
+
+void CalendarQueue::resize(std::size_t new_buckets) {
+  ++resizes_;
+  // Snapshot every queued item, rebase onto the minimum timestamp, and
+  // recalibrate the bucket width from the earliest kSampleItems: 3x their
+  // mean timestamp gap (Brown's heuristic: ~1/3 occupancy in the head
+  // buckets), rounded up to a power of two so the bucket index stays a
+  // shift.
+  std::vector<QueueItem> all;
+  all.reserve(size_);
+  for_each([&all](const QueueItem& item) { all.push_back(item); });
+  const std::size_t sample = std::min(all.size(), kSampleItems);
+  if (sample >= 1) {
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<std::ptrdiff_t>(sample),
+                      all.end(),
+                      [](const QueueItem& a, const QueueItem& b) {
+                        return a.before(b);
+                      });
+    // Rebasing onto the minimum (not the pop watermark) is what makes a
+    // far-future jump O(1) amortized; it is exact because a later push
+    // below the new base clamps into bucket 0 (see push()). It also
+    // guarantees the minimum lands in bucket 0, so a rebuild never
+    // leaves the calendar empty while the band holds items.
+    base_ = all[0].t;
+  } else {
+    base_ = watermark_;
+  }
+  if (sample >= 2) {
+    const std::uint64_t gap =
+        static_cast<std::uint64_t>(all[sample - 1].t - all[0].t) /
+        static_cast<std::uint64_t>(sample - 1);
+    // Saturate before the 3x so sentinel-adjacent spans cannot wrap; the
+    // shift clamp below caps the width at 2^56 anyway.
+    const std::uint64_t width =
+        3 * std::min(gap, std::uint64_t{1} << 55);
+    // bit_width(w) yields the smallest shift with 2^shift > w/2; clamp so
+    // base_ + N * width arithmetic stays meaningful and a width of zero
+    // (an all-ties snapshot) never divides the world into unit buckets.
+    shift_ = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(56, std::bit_width(width)));
+  }
+  buckets_.assign(new_buckets, Bucket{});
+  arena_.clear();  // capacity survives; redistribution re-threads below
+  free_ = kNil;
+  overflow_.clear();
+  cal_count_ = 0;
+  cur_ = 0;
+  for (const QueueItem& item : all) {
+    const std::int64_t off = item.t - base_;
+    const std::uint64_t idx =
+        off <= 0 ? 0 : static_cast<std::uint64_t>(off) >> shift_;
+    if (idx < buckets_.size()) {
+      bucket_insert(buckets_[idx], item);
+      ++cal_count_;
+    } else {
+      overflow_.push_back(item);
+    }
+  }
+  std::make_heap(overflow_.begin(), overflow_.end(), heap_after);
+  overflow_floor_ = overflow_.size();
+}
+
+}  // namespace cord::sim

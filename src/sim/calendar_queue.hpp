@@ -1,0 +1,274 @@
+// Calendar-queue event backend: O(1) amortized push/pop under the
+// mostly-FIFO timestamp distributions the NIC model produces, with pop
+// order bit-identical to the 4-ary heap's `(t, seq)` strict total order.
+//
+// Design (Brown's calendar queue, adapted to integer picosecond time and
+// an exact total order — DESIGN.md §14):
+//  * An array of N buckets, each `2^shift_` picoseconds wide, covers the
+//    window up to base_ + N * width. An item's bucket is
+//    `max(0, t - base_) >> shift_` — no modulo, no year ambiguity: bucket
+//    0 covers (-inf, base_ + width) and bucket k > 0 covers one disjoint
+//    later window, so "pop the head of the first non-empty bucket at
+//    index >= cur_" IS the global `(t, seq)` minimum. Ties share a
+//    timestamp, hence a bucket, and sort by seq there. Letting bucket 0
+//    absorb below-base timestamps is what makes rebasing past the pop
+//    watermark safe (see the rebuild bullet).
+//  * Items past the window go to the overflow band: a binary min-heap on
+//    `(t, seq)`. The band is only consulted when the calendar is empty,
+//    which is exact because every band item's timestamp is >= the window
+//    limit > every calendar item's.
+//  * Rebuilds (resize()) recalibrate everything at once: gather all
+//    items, rebase base_ onto the global minimum's timestamp, recompute
+//    the bucket width from the earliest kSampleItems (3x their mean gap,
+//    rounded up to a power of two so the bucket index stays a shift,
+//    never a division), pick a bucket count ~ bit_ceil(size), and
+//    redistribute. Rebasing onto the minimum (not the watermark) is what
+//    keeps an idle-gap jump cheap, and is exact because bucket 0 absorbs
+//    any later push below the new base. After a rebuild the minimum item
+//    sits in bucket 0, so the calendar is never left empty while items
+//    queue in the band.
+//  * Rebuild triggers, all with hysteresis so a steady depth never
+//    thrashes (each is amortized O(1) per event):
+//      - grow: push sees cal_count_ > 2N;
+//      - shrink: pop sees size_ < N/8 (and N > kMinBuckets; buckets are
+//        two 32-bit indices, so holding slack is cheaper than rebuilds);
+//      - band domination: push lands in the overflow band while the band
+//        is > 4N items AND has doubled since the last rebuild (a fill
+//        that ran ahead of a stale window re-calibrates instead of
+//        degenerating into a plain binary heap);
+//      - idle-gap jump: pop finds the calendar empty with items banked in
+//        the band (sparse far-future events — conservative-window idle
+//        shards — cost one rebuild, not a crawl across empty days).
+//
+// Equivalence argument (why pop order matches the heap bit-for-bit):
+// buckets partition (-inf, limit) into disjoint, increasing time ranges;
+// every queued item with t < limit is in its range's bucket, sorted by
+// (t, seq); every item with t >= limit is in the overflow heap, whose
+// minimum is only consulted when the calendar is empty — and calendar
+// items are all < limit <= any overflow item. The cursor only skips
+// buckets proven empty, and a push into an earlier bucket rewinds it.
+// Hence pop always returns the global (t, seq) minimum, and since that
+// order is strict (seq is unique), the pop sequence is independent of the
+// container — identical to the heap's.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace cord::sim {
+
+/// Event-queue backend selector: the runtime `queue=heap|calendar` knob
+/// (plumbed through core::SystemConfig::event_queue and
+/// perftest::Params::queue). Both backends produce the exact same
+/// `(t, seq)` pop order; they differ only in wall-clock cost per event.
+enum class QueueKind : std::uint8_t { kHeap, kCalendar };
+
+/// Parse "heap" / "calendar" (throws std::invalid_argument otherwise).
+QueueKind parse_queue_kind(std::string_view name);
+std::string_view queue_kind_name(QueueKind kind);
+
+/// One queued event: 24-byte POD moved by value through either backend.
+/// The payload is the engine's tagged pointer (coroutine frame or FnSlot).
+struct QueueItem {
+  Time t;
+  std::uint64_t seq;
+  std::uintptr_t payload;
+
+  bool before(const QueueItem& o) const {
+    return t != o.t ? t < o.t : seq < o.seq;
+  }
+};
+static_assert(std::is_trivially_copyable_v<QueueItem>);
+
+class CalendarQueue {
+ public:
+  CalendarQueue() : buckets_(kMinBuckets) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Calendar resizes performed (each one recalibrates the bucket width).
+  std::uint64_t resizes() const { return resizes_; }
+  /// Pushes that landed in the far-future overflow band.
+  std::uint64_t overflow_pushes() const { return overflow_pushes_; }
+
+  // Hot path; force-inlined for the same reason as the heap's (see
+  // engine.hpp: GCC otherwise outlines the whole operation and every
+  // scheduling site pays a call with a by-value item).
+  [[gnu::always_inline]] void push(QueueItem item) {
+    ++size_;
+    const std::int64_t off = item.t - base_;
+    const std::uint64_t idx =
+        off <= 0 ? 0 : static_cast<std::uint64_t>(off) >> shift_;
+    if (idx >= buckets_.size()) [[unlikely]] {
+      ++overflow_pushes_;
+      overflow_push(item);
+      // Band domination: the window is stale (a fill ran ahead of the
+      // occupancy trigger). Recalibrate — but only once the band doubles
+      // past its post-rebuild size, because a genuinely bimodal schedule
+      // (imminent cluster + far-future cluster) keeps a large band no
+      // matter the window, and rebuilding per push would be O(n) each.
+      if (overflow_.size() > 4 * buckets_.size() &&
+          overflow_.size() >= 2 * overflow_floor_) [[unlikely]] {
+        resize(target_buckets());
+      }
+      return;
+    }
+    bucket_insert(buckets_[idx], item);
+    ++cal_count_;
+    // A push behind the cursor (below the cursor's window, or below base_
+    // itself after a rebase) rewinds it; the forward scan in pop/top
+    // stays correct.
+    if (idx < cur_) cur_ = idx;
+    if (cal_count_ > 2 * buckets_.size()) [[unlikely]] {
+      resize(target_buckets());
+    }
+  }
+
+  /// The global (t, seq) minimum (requires !empty()). Advances the bucket
+  /// cursor past empty buckets — but never rebases the window, so it is
+  /// always safe to call between pops (a later push may still legally
+  /// carry any timestamp).
+  [[gnu::always_inline]] const QueueItem& top() {
+    if (cal_count_ == 0) [[unlikely]] return overflow_.front();
+    std::size_t i = cur_;
+    while (buckets_[i].head == kNil) ++i;
+    cur_ = i;
+    return arena_[buckets_[i].head].item;
+  }
+
+  /// Pop the global (t, seq) minimum (requires !empty()).
+  [[gnu::always_inline]] QueueItem pop() {
+    if (cal_count_ == 0) [[unlikely]] jump_to_overflow();
+    std::size_t i = cur_;
+    while (buckets_[i].head == kNil) ++i;
+    cur_ = i;
+    Bucket& b = buckets_[i];
+    const std::uint32_t n = b.head;
+    const QueueItem out = arena_[n].item;
+    b.head = arena_[n].next;
+    if (b.head == kNil) b.tail = kNil;
+    arena_[n].next = free_;
+    free_ = n;
+    --cal_count_;
+    --size_;
+    watermark_ = out.t;
+    if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 8)
+        [[unlikely]] {
+      resize(target_buckets());
+    }
+    return out;
+  }
+
+  /// Timestamp of the minimum without touching any state (requires
+  /// !empty()). For cold peeks from const contexts (window-edge
+  /// coordination); the hot loops use top().
+  Time min_time() const {
+    if (cal_count_ == 0) return overflow_.front().t;
+    for (std::size_t i = cur_;; ++i) {
+      if (buckets_[i].head != kNil) return arena_[buckets_[i].head].item.t;
+    }
+  }
+
+  /// Visit every queued item (teardown walk for parked callbacks).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Bucket& b : buckets_) {
+      for (std::uint32_t n = b.head; n != kNil; n = arena_[n].next) {
+        f(arena_[n].item);
+      }
+    }
+    for (const QueueItem& item : overflow_) f(item);
+  }
+
+ private:
+  /// Calendar items live in one contiguous node arena threaded into
+  /// per-bucket singly linked lists (sorted ascending by (t, seq), with a
+  /// tail pointer so the dominant near-monotone push is an O(1) append).
+  /// One arena instead of a vector per bucket means zero allocation in
+  /// steady state: pops feed a free list, rebuilds re-thread in place,
+  /// and the arena's capacity survives both.
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  struct Node {
+    QueueItem item;
+    std::uint32_t next = kNil;
+  };
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  static constexpr std::size_t kMinBuckets = 32;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+  /// Snapshot size for bucket-width recalibration.
+  static constexpr std::size_t kSampleItems = 32;
+
+  /// Bucket count a rebuild aims for: ~1 item per bucket (Brown's
+  /// heuristic), bounded so a burst cannot allocate without limit.
+  std::size_t target_buckets() const {
+    return std::clamp(std::bit_ceil(size_ | 1), kMinBuckets, kMaxBuckets);
+  }
+
+  [[gnu::always_inline]] std::uint32_t alloc_node(QueueItem item) {
+    std::uint32_t n = free_;
+    if (n != kNil) {
+      free_ = arena_[n].next;
+    } else {
+      n = static_cast<std::uint32_t>(arena_.size());
+      arena_.emplace_back();
+    }
+    arena_[n].item = item;
+    return n;
+  }
+
+  void bucket_insert(Bucket& b, QueueItem item) {
+    const std::uint32_t n = alloc_node(item);
+    if (b.head == kNil) {
+      arena_[n].next = kNil;
+      b.head = b.tail = n;
+      return;
+    }
+    // FIFO fast path: most NIC timestamps arrive in near-monotone order,
+    // so the new item usually sorts last in its bucket.
+    if (!item.before(arena_[b.tail].item)) {
+      arena_[n].next = kNil;
+      arena_[b.tail].next = n;
+      b.tail = n;
+      return;
+    }
+    insert_sorted(b, n);
+  }
+
+  // Cold paths (calendar_queue.cpp).
+  void insert_sorted(Bucket& b, std::uint32_t n);
+  void overflow_push(QueueItem item);
+  /// The calendar drained with items banked in the band: rebuild, which
+  /// rebases onto the band minimum and migrates everything that fits.
+  void jump_to_overflow();
+  /// Rebuild with `new_buckets` buckets, a freshly calibrated width, and
+  /// base_ rebased onto the minimum queued timestamp.
+  void resize(std::size_t new_buckets);
+
+  std::vector<Bucket> buckets_;
+  std::vector<Node> arena_;          // calendar items; see Node
+  std::uint32_t free_ = kNil;        // free-list head in the arena
+  std::vector<QueueItem> overflow_;  // binary min-heap on (t, seq)
+  Time base_ = 0;                    // bucket 0 covers (-inf, base_ + width)
+  Time watermark_ = 0;               // last popped timestamp (pop floor)
+  std::uint32_t shift_ = 10;         // log2 bucket width (1024 ps ~ 1 ns)
+  std::size_t cur_ = 0;              // no calendar item sits below this
+  std::size_t cal_count_ = 0;        // items in buckets (size_ - overflow)
+  std::size_t size_ = 0;
+  std::size_t overflow_floor_ = 0;   // band size right after last rebuild
+  std::uint64_t resizes_ = 0;
+  std::uint64_t overflow_pushes_ = 0;
+};
+
+}  // namespace cord::sim

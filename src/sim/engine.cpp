@@ -51,8 +51,12 @@ Engine::~Engine() {
       reinterpret_cast<FnSlot*>(item.payload & ~kFnTag)->fn.clear();
     }
   };
-  for (const Item& item : queue_.heap_items()) clear_parked(item);
-  if (queue_.has_cached()) clear_parked(queue_.cached());
+  if (queue_kind_ == QueueKind::kHeap) {
+    for (const Item& item : heap_.heap_items()) clear_parked(item);
+    if (heap_.has_cached()) clear_parked(heap_.cached());
+  } else {
+    cal_.for_each(clear_parked);
+  }
   // Retire slabs (now guaranteed all-empty) to the thread-local cache
   // instead of freeing them; see slab_cache().
   auto& cache = slab_cache();

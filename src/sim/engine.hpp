@@ -21,6 +21,14 @@
 //  * Scheduling into the past clamps to `now()` in every build mode (the
 //    old `assert` vanished under NDEBUG and silently corrupted event
 //    order); `clamped_events()` counts occurrences for tests/debugging.
+//  * The queue is a pluggable policy (QueueKind, chosen at construction):
+//    the 4-ary heap below, or the calendar queue (sim/calendar_queue.hpp)
+//    with O(1) amortized push/pop under mostly-FIFO timestamps. Both
+//    produce the exact `(t, seq)` strict total order, so pop sequences —
+//    and every golden output — are bit-identical under either backend.
+//    The run loops are templated over the backend and select it once per
+//    call, so the hot loop stays specialized and inlinable; per-push
+//    sites pay one perfectly predicted branch.
 #pragma once
 
 #include <coroutine>
@@ -32,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/task.hpp"
 #include "sim/units.hpp"
@@ -46,17 +55,20 @@ class ShardedEngine;
 
 class Engine {
  public:
-  Engine() { queue_.reserve(1024); }
+  explicit Engine(QueueKind queue = QueueKind::kHeap) : queue_kind_(queue) {
+    if (queue == QueueKind::kHeap) heap_.reserve(1024);
+  }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
   Time now() const { return now_; }
+  QueueKind queue_kind() const { return queue_kind_; }
 
   /// Resume `h` at absolute time `t` (clamped to now() if in the past).
   void schedule_at(Time t, std::coroutine_handle<> h) {
-    queue_.push(Item{clamp_to_now(t), next_seq_++,
-                     reinterpret_cast<std::uintptr_t>(h.address())});
+    queue_push(Item{clamp_to_now(t), next_seq_++,
+                    reinterpret_cast<std::uintptr_t>(h.address())});
   }
   /// Resume `h` after `delay`.
   void schedule_in(Time delay, std::coroutine_handle<> h) {
@@ -100,14 +112,15 @@ class Engine {
   /// Run until the event queue drains. Returns the final virtual time.
   /// Defined inline: this is THE simulation hot loop, and keeping it
   /// visible to callers lets the compiler collapse a schedule→dispatch
-  /// ping-pong into register traffic.
+  /// ping-pong into register traffic. The backend branch is taken once
+  /// per call; the loop itself is specialized per backend.
   Time run() {
-    if (!queue_.empty()) {
-      do {
-        const Item item = queue_.pop();
-        now_ = item.t;
-        dispatch(item.payload);
-      } while (!queue_.empty());
+    if (pending_ != 0) {
+      if (queue_kind_ == QueueKind::kHeap) {
+        run_drain(heap_);
+      } else {
+        run_drain(cal_);
+      }
       last_event_ = now_;
     }
     return now_;
@@ -115,13 +128,11 @@ class Engine {
   /// Run until the queue drains or virtual time would pass `deadline`.
   /// Events after `deadline` stay queued; now() is clamped to `deadline`.
   Time run_until(Time deadline) {
-    if (!queue_.empty() && queue_.top().t <= deadline) {
-      do {
-        const Item item = queue_.pop();
-        now_ = item.t;
-        dispatch(item.payload);
-      } while (!queue_.empty() && queue_.top().t <= deadline);
-      last_event_ = now_;
+    if (pending_ != 0) {
+      const bool ran = queue_kind_ == QueueKind::kHeap
+                           ? run_until_drain(heap_, deadline)
+                           : run_until_drain(cal_, deadline);
+      if (ran) last_event_ = now_;
     }
     if (now_ < deadline) now_ = deadline;
     return now_;
@@ -133,7 +144,8 @@ class Engine {
   /// by the shard coordinator to compute conservative time windows; never
   /// read on the hot loop.
   Time next_event_time() const {
-    return queue_.empty() ? kNoEvent : queue_.top().t;
+    if (pending_ == 0) return kNoEvent;
+    return queue_kind_ == QueueKind::kHeap ? heap_.top().t : cal_.min_time();
   }
 
   /// Sharding context (sim/sharded.hpp). Null for a standalone engine;
@@ -155,7 +167,16 @@ class Engine {
   /// now(). Non-zero values indicate a model bug worth investigating.
   std::uint64_t clamped_events() const { return clamped_events_; }
   /// Events currently queued (for capacity planning in benches).
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return pending_; }
+  /// High-water mark of the queue depth (events simultaneously queued).
+  std::size_t queue_peak_depth() const { return peak_pending_; }
+  /// Calendar-queue resizes performed (0 under the heap backend).
+  std::uint64_t queue_resizes() const { return cal_.resizes(); }
+  /// Pushes that landed in the calendar's far-future overflow band
+  /// (0 under the heap backend).
+  std::uint64_t queue_overflow_events() const {
+    return cal_.overflow_pushes();
+  }
 
   /// The active tracer, or nullptr when tracing is off. Every trace point
   /// in the stack guards on this single pointer, so disabled tracing costs
@@ -199,11 +220,11 @@ class Engine {
     if (t > now_) now_ = t;
   }
 
-  /// Pop and dispatch exactly one event (requires !queue_.empty()).
+  /// Pop and dispatch exactly one event (requires pending_ != 0).
   /// Coordinator-only: the merged sequential mode interleaves engines
   /// event-by-event in global (t, shard) order.
   void step_one() {
-    const Item item = queue_.pop();
+    const Item item = queue_pop();
     now_ = item.t;
     dispatch(item.payload);
   }
@@ -218,16 +239,9 @@ class Engine {
     FnSlot* next_free = nullptr;
   };
 
-  struct Item {
-    Time t;
-    std::uint64_t seq;
-    std::uintptr_t payload;  // coroutine frame address, or FnSlot* | kFnTag
-
-    bool before(const Item& o) const {
-      return t != o.t ? t < o.t : seq < o.seq;
-    }
-  };
-  static_assert(std::is_trivially_copyable_v<Item>);
+  /// One queued event (payload: coroutine frame address, or
+  /// FnSlot* | kFnTag). Shared with the calendar backend.
+  using Item = QueueItem;
 
   /// 4-ary min-heap ordered by Item::before, fronted by a one-item cache.
   /// `(t, seq)` is a strict total order (seq is unique), so pop order is
@@ -326,6 +340,47 @@ class Engine {
     std::vector<Item> v_;
   };
 
+  // --- Backend dispatch -------------------------------------------------
+  // One predicted branch per operation (queue_kind_ never changes after
+  // construction); the drain loops hoist it out entirely. pending_ is the
+  // engine's own depth counter, so empty checks never consult a backend.
+
+  [[gnu::always_inline]] void queue_push(Item item) {
+    if (++pending_ > peak_pending_) peak_pending_ = pending_;
+    if (queue_kind_ == QueueKind::kHeap) {
+      heap_.push(item);
+    } else {
+      cal_.push(item);
+    }
+  }
+
+  [[gnu::always_inline]] Item queue_pop() {
+    --pending_;
+    return queue_kind_ == QueueKind::kHeap ? heap_.pop() : cal_.pop();
+  }
+
+  template <typename Q>
+  [[gnu::always_inline]] void run_drain(Q& q) {
+    do {
+      --pending_;
+      const Item item = q.pop();
+      now_ = item.t;
+      dispatch(item.payload);
+    } while (pending_ != 0);
+  }
+
+  template <typename Q>
+  [[gnu::always_inline]] bool run_until_drain(Q& q, Time deadline) {
+    if (q.top().t > deadline) return false;
+    do {
+      --pending_;
+      const Item item = q.pop();
+      now_ = item.t;
+      dispatch(item.payload);
+    } while (pending_ != 0 && q.top().t <= deadline);
+    return true;
+  }
+
   Time clamp_to_now(Time t) {
     if (t < now_) [[unlikely]] {
       ++clamped_events_;
@@ -369,8 +424,8 @@ class Engine {
   }
 
   void push_fn(Time t, FnSlot* slot) {
-    queue_.push(Item{clamp_to_now(t), next_seq_++,
-                     reinterpret_cast<std::uintptr_t>(slot) | kFnTag});
+    queue_push(Item{clamp_to_now(t), next_seq_++,
+                    reinterpret_cast<std::uintptr_t>(slot) | kFnTag});
   }
 
   /// Execute one popped event: resume a coroutine (tag 0) or invoke and
@@ -394,7 +449,11 @@ class Engine {
   // Upper bound on slots parked in the thread-local slab cache (~1 MiB).
   static constexpr std::size_t kMaxCachedSlots = 8192;
 
-  EventHeap queue_;
+  QueueKind queue_kind_ = QueueKind::kHeap;
+  EventHeap heap_;
+  CalendarQueue cal_;  // ~100 idle bytes when the heap backend is active
+  std::size_t pending_ = 0;
+  std::size_t peak_pending_ = 0;
   std::vector<Slab> slots_;
   std::size_t slab_slots_ = 64;  // next fresh-slab size; doubles to the cap
   FnSlot* free_slots_ = nullptr;

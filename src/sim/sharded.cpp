@@ -10,13 +10,13 @@
 
 namespace cord::sim {
 
-ShardedEngine::ShardedEngine(std::size_t shard_count) {
+ShardedEngine::ShardedEngine(std::size_t shard_count, QueueKind queue) {
   if (shard_count == 0) {
     throw std::invalid_argument("ShardedEngine: shard_count must be >= 1");
   }
   engines_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
-    auto e = std::make_unique<Engine>();
+    auto e = std::make_unique<Engine>(queue);
     e->coordinator_ = this;
     e->shard_index_ = static_cast<std::uint32_t>(i);
     engines_.push_back(std::move(e));
@@ -358,6 +358,18 @@ std::uint64_t ShardedEngine::clamped_events() const {
   std::uint64_t s = 0;
   for (const auto& e : engines_) s += e->clamped_events();
   return s;
+}
+
+std::uint64_t ShardedEngine::queue_resizes() const {
+  std::uint64_t s = 0;
+  for (const auto& e : engines_) s += e->queue_resizes();
+  return s;
+}
+
+std::size_t ShardedEngine::queue_peak_depth() const {
+  std::size_t m = 0;
+  for (const auto& e : engines_) m = std::max(m, e->queue_peak_depth());
+  return m;
 }
 
 std::size_t ShardedEngine::live_roots() const {

@@ -74,7 +74,11 @@ class ShardedEngine {
   /// large finite time for the sentinel and silently stop synchronizing.
   static constexpr Time kUnboundedLookahead = Engine::kNoEvent / 2;
 
-  explicit ShardedEngine(std::size_t shard_count);
+  /// `queue` selects the event-queue backend of every member engine
+  /// (sim/calendar_queue.hpp); both backends pop the same (t, seq) order,
+  /// so sharded runs are bit-identical under either.
+  explicit ShardedEngine(std::size_t shard_count,
+                         QueueKind queue = QueueKind::kHeap);
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
   ~ShardedEngine();
@@ -144,6 +148,10 @@ class ShardedEngine {
   std::uint64_t events_processed() const;
   std::uint64_t clamped_events() const;
   std::size_t live_roots() const;
+  /// Calendar-queue resizes summed over all shards (0 under the heap).
+  std::uint64_t queue_resizes() const;
+  /// Largest queue-depth high-water mark across all shards.
+  std::size_t queue_peak_depth() const;
 
   /// t + la without wrapping sim::Time (saturates at Engine::kNoEvent).
   static Time sat_add(Time t, Time la) {

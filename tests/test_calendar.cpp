@@ -1,0 +1,294 @@
+// Calendar-queue event backend: randomized differential tests against a
+// reference total order (duplicate timestamps, clamped past-scheduling,
+// far-future sentinel-adjacent times), an engine-level heap-vs-calendar
+// differential with interleaved nested scheduling, run_until equivalence,
+// and the queue-depth / resize counters surfaced through Engine stats,
+// System metrics and Kernel::proc_read("metrics").
+//
+// These run under the regular, ASan and TSan ctest configurations; the
+// heavy loops are sized for that.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/sharded.hpp"
+#include "sim/units.hpp"
+
+namespace cord {
+namespace {
+
+// --- Knob parsing ------------------------------------------------------
+
+TEST(QueueKind, ParsesAndNames) {
+  EXPECT_EQ(sim::parse_queue_kind("heap"), sim::QueueKind::kHeap);
+  EXPECT_EQ(sim::parse_queue_kind("calendar"), sim::QueueKind::kCalendar);
+  EXPECT_EQ(sim::queue_kind_name(sim::QueueKind::kHeap), "heap");
+  EXPECT_EQ(sim::queue_kind_name(sim::QueueKind::kCalendar), "calendar");
+  EXPECT_THROW((void)sim::parse_queue_kind("splay"), std::invalid_argument);
+}
+
+// --- CalendarQueue vs a reference total order --------------------------
+
+struct RefOrder {
+  bool operator()(const sim::QueueItem& a, const sim::QueueItem& b) const {
+    return a.before(b);
+  }
+};
+
+TEST(CalendarQueue, PopsGlobalMinimumWithSeqTieBreak) {
+  sim::CalendarQueue q;
+  // Two timestamps, interleaved insertion, plus a far-future item: pops
+  // must come out in (t, seq) order regardless of container placement.
+  const sim::QueueItem items[] = {
+      {sim::ns(20), 0, 100}, {sim::ns(10), 1, 101}, {sim::ns(20), 2, 102},
+      {sim::ns(10), 3, 103}, {sim::ms(5), 4, 104},  {sim::ns(10), 5, 105},
+  };
+  for (const auto& it : items) q.push(it);
+  EXPECT_EQ(q.size(), 6u);
+  const std::uint64_t expect_seq[] = {1, 3, 5, 0, 2, 4};
+  for (const std::uint64_t s : expect_seq) {
+    EXPECT_EQ(q.top().seq, s);
+    EXPECT_EQ(q.min_time(), q.top().t);
+    EXPECT_EQ(q.pop().seq, s);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// Interleaved pushes and pops with duplicate timestamps, clamped
+// past-scheduling (the engine clamps to now() == the last popped t, so
+// the stream re-pushes at exactly the watermark), and sentinel-adjacent
+// far-future times (the sharded fabric parks window sentinels at
+// kUnboundedLookahead = kNoEvent / 2). The calendar's pop stream must
+// match a std::set on (t, seq) exactly.
+TEST(CalendarQueue, RandomizedDifferentialAgainstReference) {
+  for (const std::uint64_t seed : {1ull, 7ull, 0xC0FFEEull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    sim::Rng rng(seed);
+    sim::CalendarQueue q;
+    std::set<sim::QueueItem, RefOrder> ref;
+    sim::Time watermark = 0;
+    sim::Time last_push = 0;
+    std::uint64_t seq = 0;
+    for (int op = 0; op < 30000; ++op) {
+      const bool push = ref.empty() || rng.next_u64() % 100 < 55;
+      if (push) {
+        sim::Time t = watermark;
+        switch (rng.next_u64() % 8) {
+          case 0:  // clamped past-scheduling: exactly at the watermark
+            break;
+          case 1:  // duplicate of the previous push's timestamp
+            t = last_push;
+            break;
+          case 2:  // same-bucket neighbourhood
+            t = watermark + static_cast<sim::Time>(rng.next_u64() % 64);
+            break;
+          case 3:
+          case 4:
+          case 5:  // the FIFO-ish common case: a few ns out
+            t = watermark + sim::ns(1 + static_cast<sim::Time>(
+                                            rng.next_u64() % 2000));
+            break;
+          case 6:  // far future: milliseconds out (overflow band)
+            t = watermark + sim::ms(1 + static_cast<sim::Time>(
+                                            rng.next_u64() % 50));
+            break;
+          case 7:  // sentinel-adjacent (conservative-window parking)
+            t = sim::ShardedEngine::kUnboundedLookahead -
+                static_cast<sim::Time>(rng.next_u64() % 4);
+            break;
+        }
+        if (t < watermark) t = watermark;  // the engine's clamp contract
+        last_push = t;
+        const sim::QueueItem item{t, seq, seq << 4};
+        ++seq;
+        q.push(item);
+        ref.insert(item);
+      } else {
+        const sim::QueueItem expect = *ref.begin();
+        ref.erase(ref.begin());
+        EXPECT_EQ(q.min_time(), expect.t);
+        const sim::QueueItem& peek = q.top();
+        EXPECT_EQ(peek.t, expect.t);
+        EXPECT_EQ(peek.seq, expect.seq);
+        const sim::QueueItem got = q.pop();
+        ASSERT_EQ(got.t, expect.t) << "op " << op;
+        ASSERT_EQ(got.seq, expect.seq) << "op " << op;
+        EXPECT_EQ(got.payload, expect.payload);
+        watermark = got.t;
+      }
+      EXPECT_EQ(q.size(), ref.size());
+    }
+    // Drain: the tail must still match item for item.
+    while (!ref.empty()) {
+      const sim::QueueItem expect = *ref.begin();
+      ref.erase(ref.begin());
+      const sim::QueueItem got = q.pop();
+      ASSERT_EQ(got.t, expect.t);
+      ASSERT_EQ(got.seq, expect.seq);
+    }
+    EXPECT_TRUE(q.empty());
+    // The stream above must have exercised both cold paths, or the test
+    // is vacuous.
+    EXPECT_GT(q.resizes(), 0u);
+    EXPECT_GT(q.overflow_pushes(), 0u);
+  }
+}
+
+// --- Engine-level differential ----------------------------------------
+
+// The same randomized program — initial burst, then callbacks that
+// re-schedule 0..2 successors (including intentionally-clamped past
+// times and same-time ties) — must produce the identical (now, id) fire
+// log on both backends. Each run draws from its own identically-seeded
+// Rng: any pop-order divergence would desynchronize the draws and the
+// logs with them.
+std::vector<std::pair<sim::Time, int>> run_program(sim::QueueKind kind) {
+  sim::Engine engine(kind);
+  sim::Rng rng(0xD1FFull);
+  std::vector<std::pair<sim::Time, int>> log;
+  int next_id = 0;
+  struct Ctx {
+    sim::Engine& engine;
+    sim::Rng& rng;
+    std::vector<std::pair<sim::Time, int>>& log;
+    int& next_id;
+    int budget = 4000;
+  } ctx{engine, rng, log, next_id};
+
+  struct Fire {
+    static void at(Ctx& ctx, int id) {
+      ctx.log.emplace_back(ctx.engine.now(), id);
+      if (ctx.budget <= 0) return;
+      const std::uint64_t kids = ctx.rng.next_u64() % 3;
+      for (std::uint64_t k = 0; k < kids && ctx.budget > 0; ++k) {
+        --ctx.budget;
+        const int kid_id = ctx.next_id++;
+        // Deltas include 0 (a same-time tie) and -20ns (clamped to now).
+        const sim::Time delta =
+            sim::ns(static_cast<sim::Time>(ctx.rng.next_u64() % 40) - 20);
+        ctx.engine.call_at(ctx.engine.now() + delta,
+                           [&ctx, kid_id] { Fire::at(ctx, kid_id); });
+      }
+    }
+  };
+
+  for (int i = 0; i < 64; ++i) {
+    const int id = next_id++;
+    const sim::Time t = sim::ns(static_cast<sim::Time>(rng.next_u64() % 500));
+    engine.call_at(t, [&ctx, id] { Fire::at(ctx, id); });
+  }
+  engine.run();
+  return log;
+}
+
+TEST(CalendarEngine, MatchesHeapEngineEventForEvent) {
+  const auto heap_log = run_program(sim::QueueKind::kHeap);
+  const auto cal_log = run_program(sim::QueueKind::kCalendar);
+  ASSERT_GT(heap_log.size(), 64u);
+  EXPECT_EQ(heap_log, cal_log);
+}
+
+// Stepping the clock in run_until windows — the sharded fabric's access
+// pattern, including the next_event_time() peek at each window edge —
+// must agree between backends at every step.
+TEST(CalendarEngine, RunUntilWindowsMatchHeap) {
+  auto windowed = [](sim::QueueKind kind) {
+    sim::Engine engine(kind);
+    sim::Rng rng(42);
+    std::vector<std::pair<sim::Time, int>> log;
+    for (int i = 0; i < 200; ++i) {
+      const sim::Time t =
+          sim::ns(static_cast<sim::Time>(rng.next_u64() % 3000));
+      engine.call_at(t, [&log, &engine, i] {
+        log.emplace_back(engine.now(), i);
+      });
+    }
+    std::vector<sim::Time> peeks;
+    for (sim::Time edge = sim::ns(100);; edge += sim::ns(137)) {
+      peeks.push_back(engine.next_event_time());
+      engine.run_until(edge);
+      if (engine.pending_events() == 0) break;
+    }
+    peeks.push_back(engine.next_event_time());
+    EXPECT_EQ(engine.next_event_time(), sim::Engine::kNoEvent);
+    return std::make_pair(log, peeks);
+  };
+  const auto heap = windowed(sim::QueueKind::kHeap);
+  const auto cal = windowed(sim::QueueKind::kCalendar);
+  ASSERT_EQ(heap.first.size(), 200u);
+  EXPECT_EQ(heap.first, cal.first);
+  EXPECT_EQ(heap.second, cal.second);
+}
+
+// --- Queue stats in Engine, System metrics and proc_read ---------------
+
+TEST(CalendarEngine, QueueStatsMoveWithDepth) {
+  sim::Engine engine(sim::QueueKind::kCalendar);
+  EXPECT_EQ(engine.queue_peak_depth(), 0u);
+  EXPECT_EQ(engine.queue_resizes(), 0u);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    engine.call_at(sim::ns(i * 3), [&fired] { ++fired; });
+  }
+  EXPECT_EQ(engine.pending_events(), 10000u);
+  engine.run();
+  EXPECT_EQ(fired, 10000u);
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_EQ(engine.queue_peak_depth(), 10000u);
+  // A 10k fill cannot fit the 32-bucket seed calendar: the backend must
+  // have rebuilt (and so recalibrated) at least once, and the stale
+  // initial window must have banked pushes in the overflow band.
+  EXPECT_GT(engine.queue_resizes(), 0u);
+  EXPECT_GT(engine.queue_overflow_events(), 0u);
+}
+
+TEST(CalendarEngine, HeapBackendReportsDepthButNoResizes) {
+  sim::Engine engine;  // default: heap
+  EXPECT_EQ(engine.queue_kind(), sim::QueueKind::kHeap);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    engine.call_at(sim::ns(i), [&fired] { ++fired; });
+  }
+  engine.run();
+  EXPECT_EQ(engine.queue_peak_depth(), 100u);
+  EXPECT_EQ(engine.queue_resizes(), 0u);
+}
+
+TEST(SystemMetrics, QueueGaugesMirrorEngineStats) {
+  core::SystemConfig cfg = core::system_l();
+  cfg.event_queue = sim::QueueKind::kCalendar;
+  core::System sys(cfg, 2);
+  // Before any load: gauges exist and read zero.
+  EXPECT_EQ(sys.metrics().gauge_value("engine.queue_peak_depth"), 0);
+  EXPECT_EQ(sys.metrics().gauge_value("engine.queue_resizes"), 0);
+  int fired = 0;
+  for (int i = 0; i < 5000; ++i) {
+    sys.engine().call_at(sim::ns(10 + i * 5), [&fired] { ++fired; });
+  }
+  sys.sharded().run();
+  EXPECT_EQ(fired, 5000);
+  EXPECT_EQ(sys.metrics().gauge_value("engine.queue_peak_depth"), 5000);
+  EXPECT_GT(sys.metrics().gauge_value("engine.queue_resizes"), 0);
+  // The same stats surface per host through the kernel's /proc-style
+  // metrics read — the Kernel::proc_read("metrics") observability path.
+  const std::string dump = sys.host(0).kernel().proc_read("metrics");
+  EXPECT_NE(dump.find("engine.queue_depth"), std::string::npos);
+  EXPECT_NE(dump.find("engine.queue_peak_depth"), std::string::npos);
+  EXPECT_NE(dump.find("engine.queue_resizes"), std::string::npos);
+  EXPECT_EQ(
+      sys.host(0).kernel().metrics().gauge_value("engine.queue_peak_depth"),
+      5000);
+  EXPECT_EQ(sys.host(0).kernel().metrics().gauge_value("engine.queue_depth"),
+            0);
+}
+
+}  // namespace
+}  // namespace cord

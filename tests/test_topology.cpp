@@ -467,8 +467,9 @@ TEST(RackGolden, BandwidthIsShardInvariant) {
 
 TEST(RackGolden, CanonicalTraceIsShardInvariant) {
   const auto cfg = core::system_l();
-  auto capture = [&](std::size_t shards) {
+  auto capture = [&](std::size_t shards, sim::QueueKind queue) {
     perftest::Params p = rack_params(perftest::TestOp::kSend, shards);
+    p.queue = queue;
     p.msg_size = 256;
     p.iterations = 10;
     p.warmup = 2;
@@ -477,16 +478,24 @@ TEST(RackGolden, CanonicalTraceIsShardInvariant) {
     EXPECT_EQ(r.trace_dropped, 0u);
     return trace::canonical_trace(std::move(r.trace));
   };
-  const auto t1 = capture(1);
-  const auto t2 = capture(2);
-  const auto t4 = capture(4);
+  // The 1-shard heap capture is the golden; every other (shards, queue)
+  // combination — including the calendar event queue at 1, 2 and 4
+  // shards — must reproduce it byte-for-byte. The sharded calendar runs
+  // also cover its next_event_time() peeks at conservative window edges.
+  const auto t1 = capture(1, sim::QueueKind::kHeap);
   ASSERT_FALSE(t1.empty());
-  ASSERT_EQ(t1.size(), t2.size());
-  ASSERT_EQ(t1.size(), t4.size());
-  EXPECT_EQ(0, std::memcmp(t1.data(), t2.data(),
-                           t1.size() * sizeof(trace::Record)));
-  EXPECT_EQ(0, std::memcmp(t1.data(), t4.data(),
-                           t1.size() * sizeof(trace::Record)));
+  for (const sim::QueueKind queue :
+       {sim::QueueKind::kHeap, sim::QueueKind::kCalendar}) {
+    for (const std::size_t shards : {1u, 2u, 4u}) {
+      if (shards == 1 && queue == sim::QueueKind::kHeap) continue;
+      SCOPED_TRACE(std::string(sim::queue_kind_name(queue)) + " shards=" +
+                   std::to_string(shards));
+      const auto t = capture(shards, queue);
+      ASSERT_EQ(t1.size(), t.size());
+      EXPECT_EQ(0, std::memcmp(t1.data(), t.data(),
+                               t1.size() * sizeof(trace::Record)));
+    }
+  }
 }
 
 TEST(RackGolden, UdSendIsShardInvariant) {
