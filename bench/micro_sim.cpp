@@ -254,6 +254,72 @@ void BM_NicEndToEndMessage(benchmark::State& state) {
 }
 BENCHMARK(BM_NicEndToEndMessage);
 
+// Deep-queue bandwidth: `depth` signaled RDMA writes per iteration, posted
+// in doorbell bursts of `burst` (the engine drains between bursts, so
+// `burst` is exactly the SQ depth each drain sees). This is the scenario
+// the SoA burst drain targets: one fused per-burst event amortizes WQE
+// fetch/protect/segment across the whole burst instead of paying one
+// engine event per WQE stage.
+void BM_NicBurst(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  const auto bytes = static_cast<std::uint32_t>(state.range(1));
+  const auto depth = static_cast<std::size_t>(state.range(2));
+  sim::Engine engine;
+  fabric::Network net(engine);
+  net.add_node(0, sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
+  net.add_node(1, sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
+  net.connect(0, 1, sim::Bandwidth::gbit_per_sec(100.0), sim::ns(150));
+  nic::NicRegistry reg;
+  nic::Nic n0(engine, net, reg, 0, {});
+  nic::Nic n1(engine, net, reg, 1, {});
+  auto pd0 = n0.alloc_pd();
+  auto pd1 = n1.alloc_pd();
+  auto* cq0 = n0.create_cq(1u << 20);
+  auto* cq1 = n1.create_cq(1u << 20);
+  auto* qp0 = n0.create_qp({nic::QpType::kRC, pd0, cq0, cq0, 1u << 16, 16, 220});
+  auto* qp1 = n1.create_qp({nic::QpType::kRC, pd1, cq1, cq1, 16, 16, 220});
+  n0.modify_qp(*qp0, nic::QpState::kInit);
+  n0.modify_qp(*qp0, nic::QpState::kRtr, {1, qp1->qpn()});
+  n0.modify_qp(*qp0, nic::QpState::kRts);
+  n1.modify_qp(*qp1, nic::QpState::kInit);
+  n1.modify_qp(*qp1, nic::QpState::kRtr, {0, qp0->qpn()});
+  n1.modify_qp(*qp1, nic::QpState::kRts);
+  std::vector<std::byte> src(bytes), dst(bytes);
+  const auto& lmr = n0.register_mr(pd0, src.data(), src.size(),
+                                   nic::kAccessLocalWrite);
+  const auto& rmr = n1.register_mr(pd1, dst.data(), dst.size(),
+                                   nic::kAccessRemoteWrite);
+  std::vector<nic::Cqe> wc(64);
+  for (auto _ : state) {
+    for (std::size_t done = 0; done < depth; done += burst) {
+      for (std::size_t i = 0; i < burst; ++i) {
+        n0.post_send(*qp0,
+                     {.opcode = nic::Opcode::kRdmaWrite,
+                      .sge = {reinterpret_cast<std::uintptr_t>(src.data()),
+                              bytes, lmr.lkey},
+                      .signaled = true,
+                      .remote_addr = reinterpret_cast<std::uintptr_t>(dst.data()),
+                      .rkey = rmr.rkey});
+      }
+      engine.run();
+    }
+    while (cq0->poll(wc) > 0) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth) * bytes);
+}
+BENCHMARK(BM_NicBurst)
+    ->ArgNames({"burst", "bytes", "depth"})
+    ->Args({1, 64, 256})       // ping-like: no batching available
+    ->Args({16, 64, 256})      // moderate doorbell coalescing
+    ->Args({256, 64, 256})     // deep queue, small messages
+    ->Args({256, 4096, 256})   // deep queue, one-MTU messages
+    ->Args({16, 65536, 64})    // segmentation-heavy large messages
+    ->MinTime(1.0);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -188,6 +188,38 @@ System::System(SystemConfig cfg, std::size_t host_count, std::size_t shards,
   metrics_.callback_gauge("engine.queue_resizes", [this] {
     return static_cast<std::int64_t>(sharded_.queue_resizes());
   });
+  // System-wide NIC doorbell/burst totals, summed over hosts at read
+  // time. Mirrors the per-host gauges each Kernel exposes through
+  // proc_read("metrics"), so fleet-level dashboards don't have to crawl
+  // every host.
+  const auto nic_sum = [this](std::uint64_t nic::NicCounters::*field) {
+    std::int64_t total = 0;
+    for (const auto& h : hosts_) {
+      total += static_cast<std::int64_t>(h->nic().counters().*field);
+    }
+    return total;
+  };
+  metrics_.callback_gauge("nic.doorbells", [nic_sum] {
+    return nic_sum(&nic::NicCounters::doorbells);
+  });
+  metrics_.callback_gauge("nic.doorbells_coalesced", [nic_sum] {
+    return nic_sum(&nic::NicCounters::doorbells_coalesced);
+  });
+  metrics_.callback_gauge("nic.sq_bursts", [nic_sum] {
+    return nic_sum(&nic::NicCounters::sq_bursts);
+  });
+  metrics_.callback_gauge("nic.sq_burst_wrs", [nic_sum] {
+    return nic_sum(&nic::NicCounters::sq_burst_wrs);
+  });
+  metrics_.callback_gauge("nic.sq_fused_batches", [nic_sum] {
+    return nic_sum(&nic::NicCounters::sq_fused_batches);
+  });
+  metrics_.callback_gauge("nic.seg_msgs", [nic_sum] {
+    return nic_sum(&nic::NicCounters::seg_msgs);
+  });
+  metrics_.callback_gauge("nic.seg_chunks", [nic_sum] {
+    return nic_sum(&nic::NicCounters::seg_chunks);
+  });
 }
 
 void System::set_tracing(bool on) {

@@ -7,19 +7,19 @@
 // open-addressed hash table keyed by that key serves both the local
 // (lkey) and remote (rkey) validation paths — every data-plane check is
 // a single probe sequence over a flat array instead of two chained
-// `unordered_map`s. Region objects live in a stable slab (deque +
-// freelist), so `const MemoryRegion*` stays valid across registrations
-// and table growth — kernel and verbs layers hold such pointers long
-// term. Deregistration tombstones the index slot and recycles the slab
-// slot for the next registration.
+// `unordered_map`s. Region objects live on the engine's size-classed
+// slabs (sim::SlabPtr + freelist), so `const MemoryRegion*` stays valid
+// across registrations and table growth — kernel and verbs layers hold
+// such pointers long term. Deregistration tombstones the index slot and
+// recycles the slab slot for the next registration.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "nic/types.hpp"
+#include "sim/slab.hpp"
 
 namespace cord::nic {
 
@@ -48,7 +48,8 @@ class MrTable {
       mr = free_regions_.back();
       free_regions_.pop_back();
     } else {
-      mr = &regions_.emplace_back();
+      regions_.push_back(sim::make_slab<MemoryRegion>());
+      mr = regions_.back().get();
     }
     *mr = MemoryRegion{addr, length, key, key, access, pd};
     insert(key, mr);
@@ -159,7 +160,8 @@ class MrTable {
   }
 
   std::vector<Slot> slots_;
-  std::deque<MemoryRegion> regions_;       // stable storage for MR objects
+  // Stable slab storage for MR objects (pointers outlive table growth).
+  std::vector<sim::SlabPtr<MemoryRegion>> regions_;
   std::vector<MemoryRegion*> free_regions_;
   std::size_t size_ = 0;
   std::size_t tombstones_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "nic/segment.hpp"
 #include "trace/trace.hpp"
 
 namespace cord::nic {
@@ -84,7 +85,7 @@ Nic::Nic(sim::Engine& engine, fabric::Network& network, NicRegistry& registry,
 
 CompletionQueue* Nic::create_cq(std::uint32_t capacity) {
   const std::uint32_t cqn = kFirstCqn + static_cast<std::uint32_t>(cqs_.size());
-  cqs_.push_back(std::make_unique<CompletionQueue>(cqn, capacity));
+  cqs_.push_back(sim::make_slab<CompletionQueue>(cqn, capacity));
   return cqs_.back().get();
 }
 
@@ -95,7 +96,7 @@ QueuePair* Nic::create_qp(const QpConfig& cfg) {
   // The device caps the inline size it accepts (ibv_create_qp adjusts
   // cap.max_inline_data the same way).
   clamped.max_inline = std::min(clamped.max_inline, cfg_.max_inline);
-  qps_.push_back(std::make_unique<QueuePair>(qpn, clamped));
+  qps_.push_back(sim::make_slab<QueuePair>(qpn, clamped));
   return qps_.back().get();
 }
 
@@ -106,7 +107,7 @@ void Nic::destroy_qp(std::uint32_t qpn) {
 
 SharedReceiveQueue* Nic::create_srq(ProtectionDomainId pd, std::uint32_t capacity) {
   const std::uint32_t srqn = kFirstSrqn + static_cast<std::uint32_t>(srqs_.size());
-  srqs_.push_back(std::make_unique<SharedReceiveQueue>(srqn, pd, capacity));
+  srqs_.push_back(sim::make_slab<SharedReceiveQueue>(srqn, pd, capacity));
   return srqs_.back().get();
 }
 
@@ -151,11 +152,13 @@ int Nic::modify_qp(QueuePair& qp, QpState target, AddressHandle dest) {
   return kErrInvalid;
 }
 
-void Nic::qp_set_error(QueuePair& qp) {
+void Nic::qp_set_error(QueuePair& qp) { qp_set_error(qp, engine_->now()); }
+
+void Nic::qp_set_error(QueuePair& qp, sim::Time error_at) {
   if (qp.state_ == QpState::kError) return;
   qp.state_ = QpState::kError;
   qp.counters_.errors++;
-  const sim::Time at = engine_->now() + cfg_.cqe_write;
+  const sim::Time at = error_at + cfg_.cqe_write;
   // Coalesced flush: every flushed CQE shares one timestamp and the
   // registrations below used to be consecutive seq numbers from one
   // synchronous loop — no foreign event could interleave between them —
@@ -242,12 +245,93 @@ void Nic::kick(QueuePair& qp, std::uint32_t trace_span) {
                static_cast<std::uint8_t>(node_), 0, cfg_.doorbell_latency);
   }
   engine_->call_in(cfg_.doorbell_latency, [this, qpn = qp.qpn()] {
-    if (find_qp(qpn) != nullptr) engine_->spawn(sq_worker(qpn));
+    if (find_qp(qpn) != nullptr) {
+      counters_.sq_bursts++;
+      sq_resume(qpn);
+    }
   });
 }
 
+void Nic::sq_resume(std::uint32_t qpn) {
+  QueuePair* qp = find_qp(qpn);
+  if (qp == nullptr) return;
+  if (qp->state_ != QpState::kRts || qp->sq_.empty()) {
+    qp->sq_worker_active_ = false;
+    return;
+  }
+  if (engine_->tracer() != nullptr) [[unlikely]] {
+    // Trace-fidelity drain: the per-WQE coroutine reserves and records at
+    // the same virtual times, in the same event order, as the pre-fusion
+    // worker — which is the order the canonical traces are committed in
+    // (a single shard's trace buffer is the raw emission order, so fused
+    // future-dated emission would break its time-sortedness).
+    engine_->spawn(sq_worker(qpn));
+  } else {
+    sq_drain_burst(*qp);
+  }
+}
+
+void Nic::sq_drain_burst(QueuePair& qp) {
+  // Gather pass: SoA descriptor columns for every WQE queued right now.
+  // WQEs stay in sq_ until their processing iteration so that a
+  // mid-burst error flush (qp_set_error walks sq_) still sees them.
+  burst_.clear();
+  for (const SendWr& wr : qp.sq_) {
+    burst_.opcode.push_back(static_cast<std::uint8_t>(wr.opcode));
+    burst_.len.push_back(static_cast<std::uint32_t>(payload_len(wr)));
+    burst_.addr.push_back(wr.sge.addr);
+    burst_.sge_len.push_back(wr.sge.length);
+    burst_.lkey.push_back(wr.sge.lkey);
+    burst_.inline_or_empty.push_back(
+        wr.inline_data || payload_len(wr) == 0 ? 1 : 0);
+  }
+  // Batched protection pass over the contiguous columns (one MR-table
+  // probe per non-inline WQE, no WQE-sized strides).
+  const std::size_t n = burst_.size();
+  burst_.mr_ok.resize(n);
+  const ProtectionDomainId pd = qp.pd();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool needs_local_write =
+        burst_.opcode[i] == static_cast<std::uint8_t>(Opcode::kRdmaRead) ||
+        burst_.opcode[i] == static_cast<std::uint8_t>(Opcode::kFetchAdd) ||
+        burst_.opcode[i] == static_cast<std::uint8_t>(Opcode::kCompareSwap);
+    burst_.mr_ok[i] =
+        burst_.inline_or_empty[i] != 0 ||
+        mrs_.check_local(Sge{burst_.addr[i], burst_.sge_len[i],
+                             burst_.lkey[i]},
+                         pd, needs_local_write) != nullptr;
+  }
+  // Processing pass, one event for the whole burst: WQE i's pipeline slot
+  // is reserved when WQE i-1's is known, so slot k ends at the same
+  // f_k = max(now, next_free) + k * wqe_processing the per-WQE worker
+  // computed by waking at f_{k-1} — reserve_at's start is max(now,
+  // earliest, next_free), and no foreign event can interleave inside this
+  // event. Each WQE's downstream chain is reserved with earliest = f_k,
+  // which equals the reservation the worker made at engine-time f_k for
+  // the single-active-writer resources of the NIC model (the same
+  // argument reserve_dst_chain documents).
+  counters_.sq_fused_batches++;
+  const std::uint32_t qpn = qp.qpn();
+  sim::Time last = engine_->now();
+  for (std::size_t i = 0; i < n; ++i) {
+    // An error surfaced by WQE i-1 flushed the rest of the queue; the
+    // continuation below deactivates the worker at the same virtual time
+    // the per-WQE worker's loop check would have.
+    if (qp.state_ != QpState::kRts || qp.sq_.empty()) break;
+    SendWr wr = std::move(qp.sq_.front());
+    qp.sq_.pop_front();
+    qp.sq_inflight_++;
+    counters_.sq_burst_wrs++;
+    last = processing_.reserve(cfg_.wqe_processing);
+    process_one(qp, std::move(wr), 0, last, burst_.mr_ok[i] != 0);
+  }
+  // One continuation event at the burst's end: drains WQEs posted while
+  // this burst was (virtually) processing, or deactivates — at exactly
+  // the time the per-WQE worker would have woken to find the queue empty.
+  engine_->call_at(last, [this, qpn] { sq_resume(qpn); });
+}
+
 sim::Task<> Nic::sq_worker(std::uint32_t qpn) {
-  counters_.sq_bursts++;
   for (;;) {
     QueuePair* qp = find_qp(qpn);
     if (qp == nullptr) co_return;
@@ -256,12 +340,21 @@ sim::Task<> Nic::sq_worker(std::uint32_t qpn) {
     qp->sq_.pop_front();
     qp->sq_inflight_++;
     counters_.sq_burst_wrs++;
-    co_await processing_.use(cfg_.wqe_processing);
+    const sim::Time at = co_await processing_.use(cfg_.wqe_processing);
     qp = find_qp(qpn);  // revalidate after suspension
     if (qp == nullptr) co_return;
-    process_one(*qp, std::move(wr), 0);
+    const bool mr_ok = wqe_mr_ok(wr, qp->pd());
+    process_one(*qp, std::move(wr), 0, at, mr_ok);
   }
   if (QueuePair* qp = find_qp(qpn)) qp->sq_worker_active_ = false;
+}
+
+bool Nic::wqe_mr_ok(const SendWr& wr, ProtectionDomainId pd) const {
+  if (wr.inline_data || payload_len(wr) == 0) return true;
+  const bool needs_local_write = wr.opcode == Opcode::kRdmaRead ||
+                                 wr.opcode == Opcode::kFetchAdd ||
+                                 wr.opcode == Opcode::kCompareSwap;
+  return mrs_.check_local(wr.sge, pd, needs_local_write) != nullptr;
 }
 
 void Nic::retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts) {
@@ -269,11 +362,12 @@ void Nic::retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts) {
   if (qp == nullptr || qp->state_ != QpState::kRts) return;
   engine_->spawn([](Nic& nic, std::uint32_t qpn, WrRef wr,
                     std::uint32_t attempts) -> sim::Task<> {
-    co_await nic.processing_.use(nic.cfg_.wqe_processing);
+    const sim::Time at = co_await nic.processing_.use(nic.cfg_.wqe_processing);
     QueuePair* qp = nic.find_qp(qpn);
     if (qp == nullptr) co_return;
     // The credit for this WR is still held; process_one does not take one.
-    nic.process_one(*qp, std::move(*wr), attempts);
+    const bool mr_ok = nic.wqe_mr_ok(*wr, qp->pd());
+    nic.process_one(*qp, std::move(*wr), attempts, at, mr_ok);
   }(*this, qpn, std::move(wr), rnr_attempts));
 }
 
@@ -297,28 +391,41 @@ void Nic::post_remote(Nic& dst, sim::Time t, sim::InlineFn fn) {
   }
 }
 
+sim::Time Nic::reserve_src_chunk(const fabric::Path& p, std::uint32_t chunk,
+                                 std::uint32_t wire_bytes, bool skip_src_dma,
+                                 sim::Time at) {
+  // dma_latency is pipeline depth, not occupancy: reservations on the
+  // shared DMA engine consume only the transfer time, and the fixed
+  // latency shifts the readiness of every chunk afterwards. Folding the
+  // latency into the reservation's earliest-start would spuriously
+  // serialize unrelated messages (the engine would sit "reserved but
+  // idle" for the latency window) — catastrophic on loopback paths where
+  // source- and destination-side reservations share one engine.
+  const sim::Time s =
+      skip_src_dma
+          ? at
+          : dma_rd_.reserve_at(at, cfg_.pcie_bandwidth.time_for(chunk)) +
+                cfg_.dma_latency;
+  return p.reserve_src(s, wire_bytes);
+}
+
 std::vector<Nic::ChunkArrival> Nic::schedule_chain_src(Nic& dst,
                                                        std::uint64_t bytes,
-                                                       bool skip_src_dma) {
+                                                       bool skip_src_dma,
+                                                       sim::Time at) {
   fabric::Path p = network_->path(node_, dst.node_);
   std::vector<ChunkArrival> out;
-  out.reserve(bytes / cfg_.mtu + 1);
-  std::uint64_t left = bytes;
-  do {
-    const std::uint64_t chunk = std::min<std::uint64_t>(left, cfg_.mtu);
-    const sim::Time s =
-        skip_src_dma
-            ? engine_->now()
-            : dma_rd_.reserve(cfg_.pcie_bandwidth.time_for(chunk)) + cfg_.dma_latency;
+  out.reserve(chunk_count(bytes, cfg_.mtu));
+  counters_.seg_msgs++;
+  for_each_chunk(bytes, cfg_.mtu, [&](std::uint32_t chunk) {
     // Source-side segment only: on a routed path this is the uplink hops
     // bound to this shard; the arrival timestamp is the chunk crossing the
     // shard boundary (== delivery for a direct wire).
-    const std::uint32_t wire =
-        static_cast<std::uint32_t>(chunk) + cfg_.header_bytes;
-    const sim::Time w = p.reserve_src(s, wire);
-    out.push_back(ChunkArrival{w, static_cast<std::uint32_t>(chunk), wire});
-    left -= chunk;
-  } while (left > 0);
+    const std::uint32_t wire = chunk + cfg_.header_bytes;
+    const sim::Time w = reserve_src_chunk(p, chunk, wire, skip_src_dma, at);
+    out.push_back(ChunkArrival{w, chunk, wire});
+  });
+  counters_.seg_chunks += out.size();
   return out;
 }
 
@@ -349,16 +456,16 @@ Nic::TxTimes Nic::reserve_dst_chain(const fabric::Path& p,
 // the reservation times schedule_chain computed. Only called with an
 // active tracer.
 void Nic::trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
-                      NodeId dst_node, std::uint64_t len) {
+                      NodeId dst_node, std::uint64_t len, sim::Time at) {
   trace::Tracer* tr = engine_->tracer();
   const auto node = static_cast<std::uint8_t>(node_);
-  const sim::Time now = engine_->now();
-  tr->record(trace::Point::kWqeFetch, wr.trace_span, qpn, 0, node, len);
+  tr->record_at(at, trace::Point::kWqeFetch, wr.trace_span, qpn, 0, node, len);
   if (!wr.inline_data && len > 0) {
-    tr->record(trace::Point::kDmaFetch, wr.trace_span, qpn, 0, node, len);
+    tr->record_at(at, trace::Point::kDmaFetch, wr.trace_span, qpn, 0, node,
+                  len);
   }
-  tr->record(trace::Point::kWireTx, wr.trace_span, qpn, 0, node, len,
-             t.wire_done - now);
+  tr->record_at(at, trace::Point::kWireTx, wr.trace_span, qpn, 0, node, len,
+                t.wire_done - at);
   if (t.delivered > t.wire_done) {
     tr->record_at(t.wire_done, trace::Point::kDmaDeliver, wr.trace_span, qpn,
                   0, static_cast<std::uint8_t>(dst_node), len,
@@ -375,17 +482,14 @@ void Nic::trace_fetch(std::uint32_t qpn, const SendWr& wr, std::uint64_t len) {
   }
 }
 
-void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
+void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
+                      sim::Time at, bool mr_ok) {
   const std::uint64_t len = payload_len(wr);
-  const bool needs_local_write = wr.opcode == Opcode::kRdmaRead ||
-                                 wr.opcode == Opcode::kFetchAdd ||
-                                 wr.opcode == Opcode::kCompareSwap;
 
-  if (!wr.inline_data && len > 0 &&
-      mrs_.check_local(wr.sge, qp.pd(), needs_local_write) == nullptr) {
+  if (!mr_ok) {
     sender_complete(qp.qpn(), wr, WcStatus::kLocalProtectionError,
-                    engine_->now() + cfg_.cqe_write);
-    qp_set_error(qp);
+                    at + cfg_.cqe_write);
+    qp_set_error(qp, at);
     return;
   }
 
@@ -394,8 +498,8 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
   Nic* dst = registry_->find(dest.node);
   if (dst == nullptr) {
     sender_complete(qp.qpn(), wr, WcStatus::kRemoteInvalidRequest,
-                    engine_->now() + cfg_.cqe_write);
-    if (!is_ud) qp_set_error(qp);
+                    at + cfg_.cqe_write);
+    if (!is_ud) qp_set_error(qp, at);
     return;
   }
 
@@ -419,9 +523,9 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       // whole run, identical at every shard count. On a direct wire the
       // boundary IS the delivery, so two-host results are unchanged.
       if (cross || is_ud) {
-        auto arrivals = schedule_chain_src(*dst, len, wr.inline_data);
+        auto arrivals = schedule_chain_src(*dst, len, wr.inline_data, at);
         const sim::Time wire_done = arrivals.back().at;
-        const sim::Time posted = engine_->now();
+        const sim::Time posted = at;
         if (engine_->tracer() != nullptr) [[unlikely]] {
           // kWireTx and kDmaDeliver are emitted by the destination, which
           // computes the true wire arrival past the boundary.
@@ -446,9 +550,10 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
                     }));
         break;
       }
-      TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
+      TxTimes t = schedule_chain(*dst, len, wr.inline_data,
+                                 /*include_dst_dma=*/true, at);
       if (engine_->tracer() != nullptr) [[unlikely]] {
-        trace_chain(sqpn, wr, t, dest.node, len);
+        trace_chain(sqpn, wr, t, dest.node, len, at);
       }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done,
@@ -463,8 +568,8 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
     case Opcode::kRdmaWrite:
     case Opcode::kRdmaWriteWithImm: {
       if (cross) {
-        auto arrivals = schedule_chain_src(*dst, len, wr.inline_data);
-        const sim::Time posted = engine_->now();
+        auto arrivals = schedule_chain_src(*dst, len, wr.inline_data, at);
+        const sim::Time posted = at;
         if (engine_->tracer() != nullptr) [[unlikely]] {
           trace_fetch(sqpn, wr, len);
         }
@@ -480,9 +585,10 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
                     }));
         break;
       }
-      TxTimes t = schedule_chain(*dst, len, wr.inline_data, /*include_dst_dma=*/true);
+      TxTimes t = schedule_chain(*dst, len, wr.inline_data,
+                                 /*include_dst_dma=*/true, at);
       if (engine_->tracer() != nullptr) [[unlikely]] {
-        trace_chain(sqpn, wr, t, dest.node, len);
+        trace_chain(sqpn, wr, t, dest.node, len, at);
       }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done,
@@ -500,11 +606,11 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       // itself is shard-safe; just the arrival dispatch may cross.
       fabric::Path rp = network_->path(node_, dst->node_);
       const sim::Time req_arrive =
-          rp.reserve_src(engine_->now(), cfg_.header_bytes) +
+          rp.reserve_src(at, cfg_.header_bytes) +
           rp.dst_latency(cfg_.header_bytes);
       TxTimes t{req_arrive, req_arrive};
       if (engine_->tracer() != nullptr) [[unlikely]] {
-        trace_chain(sqpn, wr, t, dest.node, 0);
+        trace_chain(sqpn, wr, t, dest.node, 0, at);
       }
       if (cross) {
         post_remote(*dst, t.wire_done,
@@ -528,11 +634,11 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts) {
       // the destination side, identical in fused and split execution.
       fabric::Path rp = network_->path(node_, dst->node_);
       const sim::Time req_arrive =
-          rp.reserve_src(engine_->now(), cfg_.header_bytes) +
+          rp.reserve_src(at, cfg_.header_bytes) +
           rp.dst_latency(cfg_.header_bytes);
       TxTimes t{req_arrive, req_arrive};
       if (engine_->tracer() != nullptr) [[unlikely]] {
-        trace_chain(sqpn, wr, t, dest.node, 0);
+        trace_chain(sqpn, wr, t, dest.node, 0, at);
       }
       if (cross) {
         post_remote(*dst, t.wire_done,
@@ -748,12 +854,7 @@ void Nic::handle_send_arrival(std::uint32_t local_qpn, WrRef wr,
                     wr->trace_span, local_qpn, 0,
                     static_cast<std::uint8_t>(node_), len, 0, /*aux=*/1);
     }
-    if (reliable) {
-      send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr)] {
-        src.sender_complete(src_qpn, m, WcStatus::kSuccess,
-                            src.engine_->now() + src.cfg_.cqe_write);
-      });
-    }
+    if (reliable) ctrl_complete(src, engine_->now(), src_qpn, meta_of(*wr));
   });
 }
 
@@ -819,10 +920,7 @@ void Nic::handle_write_arrival(std::uint32_t local_qpn, WrRef wr,
                       static_cast<std::uint32_t>(len), local_qpn, src_qpn,
                       wr->imm, true});
     }
-    send_ctrl(src, engine_->now(), [&src, src_qpn, m = meta_of(*wr)] {
-      src.sender_complete(src_qpn, m, WcStatus::kSuccess,
-                          src.engine_->now() + src.cfg_.cqe_write);
-    });
+    ctrl_complete(src, engine_->now(), src_qpn, meta_of(*wr));
   });
 }
 
@@ -858,7 +956,8 @@ void Nic::handle_read_request(std::uint32_t local_qpn, WrRef wr,
     // at delivery time — indistinguishable unless the responder mutates
     // the region mid-flight (which the verbs contract already forbids for
     // concurrently read regions).
-    auto arrivals = schedule_chain_src(src, len, /*skip_src_dma=*/false);
+    auto arrivals =
+        schedule_chain_src(src, len, /*skip_src_dma=*/false, engine_->now());
     counters_.tx_bytes += len;
     std::vector<std::byte> data(len);
     if (len > 0) std::memcpy(data.data(), mem(wr->remote_addr), len);
@@ -875,7 +974,7 @@ void Nic::handle_read_request(std::uint32_t local_qpn, WrRef wr,
     return;
   }
   TxTimes t = schedule_chain(src, len, /*skip_src_dma=*/false,
-                             /*include_dst_dma=*/true);
+                             /*include_dst_dma=*/true, engine_->now());
   counters_.tx_bytes += len;
   engine_->call_at(t.delivered, [this, wr, len, &src, src_qpn] {
     if (len > 0)
@@ -921,39 +1020,27 @@ void Nic::send_ctrl(Nic& dst, sim::Time earliest, sim::InlineFn fn) {
 }
 
 Nic::TxTimes Nic::schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dma,
-                                 bool include_dst_dma) {
+                                 bool include_dst_dma, sim::Time at) {
   fabric::Path p = network_->path(node_, dst.node_);
-  // dma_latency is pipeline depth, not occupancy: reservations on the
-  // shared DMA engine consume only the transfer time, and the fixed
-  // latency shifts the readiness of every chunk afterwards. Folding the
-  // latency into the reservation's earliest-start would spuriously
-  // serialize unrelated messages (the engine would sit "reserved but
-  // idle" for the latency window) — catastrophic on loopback paths where
-  // source- and destination-side reservations share one engine.
-  sim::Time wire_done = engine_->now();
-  sim::Time last_dst = engine_->now();
-  std::uint64_t left = bytes;
-  do {
-    const std::uint64_t chunk = std::min<std::uint64_t>(left, cfg_.mtu);
-    const sim::Time s =
-        skip_src_dma
-            ? engine_->now()
-            : dma_rd_.reserve(cfg_.pcie_bandwidth.time_for(chunk)) + cfg_.dma_latency;
+  TxTimes t{at, at};
+  counters_.seg_msgs++;
+  counters_.seg_chunks += chunk_count(bytes, cfg_.mtu);
+  for_each_chunk(bytes, cfg_.mtu, [&](std::uint32_t chunk) {
     // Store-and-forward over the routed path: source-side hops, then
     // destination-side hops — the same reservations, in the same order,
     // that the split schedule_chain_src + reserve_dst_chain pair makes.
-    const sim::Time boundary = p.reserve_src(s, chunk + cfg_.header_bytes);
-    wire_done = p.reserve_dst(boundary, chunk + cfg_.header_bytes);
-    if (include_dst_dma) {
-      last_dst = dst.dma_wr_.reserve_at(wire_done,
-                                        dst.cfg_.pcie_bandwidth.time_for(chunk)) +
-                 dst.cfg_.dma_latency;
-    } else {
-      last_dst = wire_done;
-    }
-    left -= chunk;
-  } while (left > 0);
-  return TxTimes{wire_done, last_dst};
+    const std::uint32_t wire = chunk + cfg_.header_bytes;
+    const sim::Time boundary =
+        reserve_src_chunk(p, chunk, wire, skip_src_dma, at);
+    t.wire_done = p.reserve_dst(boundary, wire);
+    t.delivered =
+        include_dst_dma
+            ? dst.dma_wr_.reserve_at(t.wire_done,
+                                     dst.cfg_.pcie_bandwidth.time_for(chunk)) +
+                  dst.cfg_.dma_latency
+            : t.wire_done;
+  });
+  return t;
 }
 
 void Nic::complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe) {
@@ -962,24 +1049,43 @@ void Nic::complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe) {
 
 void Nic::sender_complete(std::uint32_t qpn, const SenderMeta& m, WcStatus status,
                           sim::Time at) {
-  engine_->call_at(std::max(engine_->now(), at),
-                   [this, qpn, wr_id = m.wr_id, signaled = m.signaled,
-                    op = wc_opcode(m.opcode), span = m.trace_span,
-                    len = m.payload_len, status] {
-                     QueuePair* qp = find_qp(qpn);
-                     if (qp == nullptr) return;
-                     if (qp->sq_inflight_ > 0) qp->sq_inflight_--;
-                     if (signaled || status != WcStatus::kSuccess) {
-                       qp->send_cq().push(
-                           Cqe{wr_id, status, op, len, qpn, 0, 0, false});
-                     }
-                     if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
-                       tr->record(trace::Point::kCompletion, span, qpn, 0,
-                                  static_cast<std::uint8_t>(node_),
-                                  static_cast<std::uint8_t>(status), 0,
-                                  /*aux=*/0);
-                     }
-                   });
+  engine_->call_at(std::max(engine_->now(), at), [this, qpn, m, status] {
+    sender_complete_now(qpn, m, status);
+  });
+}
+
+void Nic::sender_complete_now(std::uint32_t qpn, const SenderMeta& m,
+                              WcStatus status) {
+  QueuePair* qp = find_qp(qpn);
+  if (qp == nullptr) return;
+  if (qp->sq_inflight_ > 0) qp->sq_inflight_--;
+  if (m.signaled || status != WcStatus::kSuccess) {
+    qp->send_cq().push(
+        Cqe{m.wr_id, status, wc_opcode(m.opcode), m.payload_len, qpn, 0, 0,
+            false});
+  }
+  if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
+    tr->record(trace::Point::kCompletion, m.trace_span, qpn, 0,
+               static_cast<std::uint8_t>(node_),
+               static_cast<std::uint8_t>(status), 0,
+               /*aux=*/0);
+  }
+}
+
+void Nic::ctrl_complete(Nic& requester, sim::Time earliest,
+                        std::uint32_t requester_qpn, SenderMeta m) {
+  // Same wire/priority-lane model as send_ctrl; the callback lands one
+  // cqe_write later and executes the completion directly, so a successful
+  // ACK costs one requester-side event instead of two.
+  fabric::Path p = network_->path(node_, requester.node());
+  const sim::Time arrive = p.reserve_src(earliest, cfg_.ack_bytes) +
+                           p.dst_latency(cfg_.ack_bytes);
+  post_remote(requester,
+              arrive + requester.cfg_.ack_processing + requester.cfg_.cqe_write,
+              sim::InlineFn([req = &requester, requester_qpn, m] {
+                req->sender_complete_now(requester_qpn, m,
+                                         WcStatus::kSuccess);
+              }));
 }
 
 }  // namespace cord::nic

@@ -41,6 +41,7 @@
 #include "sim/engine.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/resource.hpp"
+#include "sim/slab.hpp"
 
 namespace cord::nic {
 
@@ -76,6 +77,12 @@ struct NicCounters {
   std::uint64_t doorbells_coalesced = 0;  ///< posts absorbed by an active SQ worker
   std::uint64_t sq_bursts = 0;      ///< SQ worker activations (one per doorbell)
   std::uint64_t sq_burst_wrs = 0;   ///< WRs drained across all activations
+  /// Fused SoA drain events: each processed a whole burst of WQEs
+  /// (gather → batched MR check → per-WQE segmentation) in one engine
+  /// event. Stays 0 when a tracer forces the per-WQE drain path.
+  std::uint64_t sq_fused_batches = 0;
+  std::uint64_t seg_msgs = 0;    ///< messages run through MTU segmentation
+  std::uint64_t seg_chunks = 0;  ///< MTU chunks those messages produced
   std::uint64_t cqe_flush_batches = 0;  ///< coalesced error-flush events
   std::uint64_t cqe_flushed = 0;        ///< CQEs delivered by those events
   /// Messages that crossed a shard boundary (0 on a single-engine run).
@@ -119,6 +126,10 @@ class Nic {
   /// Force a QP into the error state, flushing outstanding work requests
   /// (used by the kernel to revoke a connection — an OS-control feature).
   void qp_set_error(QueuePair& qp);
+  /// As above, with the error surfacing at virtual time `at` (>= now):
+  /// the fused burst drain detects errors at a WQE's computed processing
+  /// time, which may lie ahead of the event that computed it.
+  void qp_set_error(QueuePair& qp, sim::Time at);
 
   // --- Data plane (reached directly in bypass mode, via syscall in CoRD)
   int post_send(QueuePair& qp, SendWr wr);
@@ -169,15 +180,22 @@ class Nic {
   }
 
   /// Reserve the pipelined resource chain for `bytes` towards `dst`
-  /// (same-shard destinations only: touches dst.dma_wr_ directly).
+  /// (same-shard destinations only: touches dst.dma_wr_ directly). `at`
+  /// is the WQE's processing-done time: >= now, and ahead of now when the
+  /// fused burst drain reserves a whole burst from one event.
   TxTimes schedule_chain(Nic& dst, std::uint64_t bytes, bool skip_src_dma,
-                         bool include_dst_dma);
+                         bool include_dst_dma, sim::Time at);
   /// Source half of schedule_chain for a cross-shard `dst`: reserves the
   /// local DMA fetch + the path's source-side hops, returns per-chunk
   /// boundary arrivals for the destination shard to finish via
   /// reserve_dst_chain.
   std::vector<ChunkArrival> schedule_chain_src(Nic& dst, std::uint64_t bytes,
-                                               bool skip_src_dma);
+                                               bool skip_src_dma, sim::Time at);
+  /// One chunk of the source-side chain: DMA fetch (unless inline) then
+  /// the path's source-side hops, earliest-started at `at`.
+  sim::Time reserve_src_chunk(const fabric::Path& p, std::uint32_t chunk,
+                              std::uint32_t wire_bytes, bool skip_src_dma,
+                              sim::Time at);
   /// Destination half: replays the destination-side hop (+ optionally
   /// DMA-write) reservations of schedule_chain from the boundary arrivals
   /// (called at the first chunk's arrival time). `p` is the forward path
@@ -192,8 +210,24 @@ class Nic {
   void post_remote(Nic& dst, sim::Time t, sim::InlineFn fn);
 
   void kick(QueuePair& qp, std::uint32_t trace_span = 0);
+  /// One drain round: dispatches to the fused SoA burst drain, or (with a
+  /// tracer attached) to the per-WQE coroutine worker whose event-per-WQE
+  /// structure the canonical traces were recorded against.
+  void sq_resume(std::uint32_t qpn);
+  /// Fused drain: gathers the queued WQE descriptors into the SoA burst
+  /// scratch, batch-checks MRs, then processes every WQE from this one
+  /// event — each WQE's chain reserved at its computed processing-done
+  /// time. Schedules one continuation event at the burst's end.
+  void sq_drain_burst(QueuePair& qp);
   sim::Task<> sq_worker(std::uint32_t qpn);
-  void process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts);
+  /// Local protection check a WQE must pass before transmission (inline
+  /// and zero-length payloads skip the MR lookup).
+  bool wqe_mr_ok(const SendWr& wr, ProtectionDomainId pd) const;
+  /// Execute one WQE whose processing pipeline slot ends at `at` (== now
+  /// on the per-WQE paths; ahead of now from the fused drain). `mr_ok` is
+  /// the (possibly batch-computed) wqe_mr_ok verdict.
+  void process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
+                   sim::Time at, bool mr_ok);
   void retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts);
   /// Cross-shard RNR retry entry: the WR came back by value; re-pool it
   /// locally and retry.
@@ -229,11 +263,20 @@ class Nic {
   /// Schedule an ACK/NAK-sized packet back to `dst` and run `fn` when it
   /// has been processed there.
   void send_ctrl(Nic& dst, sim::Time earliest, sim::InlineFn fn);
+  /// Success-path ACK: like send_ctrl + sender_complete, but fused into a
+  /// single event on the requester at
+  ///   ack arrival + ack_processing + cqe_write
+  /// — the completion time both forms produce; the two-event form only
+  /// computed it across an intermediate hop. Error/NAK/RNR paths keep
+  /// send_ctrl, whose callback time anchors their retry/flush clocks.
+  void ctrl_complete(Nic& requester, sim::Time earliest,
+                     std::uint32_t requester_qpn, SenderMeta m);
 
   /// Emit the WQE-lifecycle trace records (fetch → DMA → wire → delivery)
-  /// for one processed WR. Only called when a tracer is attached.
+  /// for one processed WR. Only called when a tracer is attached; `at` is
+  /// the WQE's processing time (== now on the traced path).
   void trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
-                   NodeId dst_node, std::uint64_t len);
+                   NodeId dst_node, std::uint64_t len, sim::Time at);
   /// The fetch-side records only (kWqeFetch, kDmaFetch) — used on the
   /// boundary-crossing path, where the destination shard emits kWireTx and
   /// kDmaDeliver once it has computed the true wire arrival.
@@ -244,6 +287,11 @@ class Nic {
   /// emits a CQE only if the WR was signaled or failed).
   void sender_complete(std::uint32_t qpn, const SenderMeta& m, WcStatus status,
                        sim::Time at);
+  /// The completion itself, executed at the current virtual time (the
+  /// body of sender_complete's scheduled event; ctrl_complete posts it
+  /// directly at the completion time).
+  void sender_complete_now(std::uint32_t qpn, const SenderMeta& m,
+                           WcStatus status);
   void sender_complete(std::uint32_t qpn, const SendWr& wr, WcStatus status,
                        sim::Time at) {
     sender_complete(qpn, meta_of(wr), status, at);
@@ -266,16 +314,45 @@ class Nic {
   // qpn/cqn/srqn are handed out sequentially from fixed bases, so the
   // object tables are dense vectors indexed by (n - base): creation
   // appends, destruction nulls the slot, every data-plane lookup is O(1).
+  // The objects themselves live on the engine's size-classed slabs
+  // (sim::SlabPtr), so objects created together sit adjacent in memory
+  // and a burst drain walks contiguous storage.
   static constexpr std::uint32_t kFirstCqn = 1;
   static constexpr std::uint32_t kFirstQpn = 0x100;
   static constexpr std::uint32_t kFirstSrqn = 1;
 
   MrTable mrs_;
-  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
-  std::vector<std::unique_ptr<QueuePair>> qps_;
-  std::vector<std::unique_ptr<SharedReceiveQueue>> srqs_;
+  std::vector<sim::SlabPtr<CompletionQueue>> cqs_;
+  std::vector<sim::SlabPtr<QueuePair>> qps_;
+  std::vector<sim::SlabPtr<SharedReceiveQueue>> srqs_;
   WrPool wr_pool_;
   ProtectionDomainId next_pd_ = 1;
+
+  /// Struct-of-arrays view of the WQEs at the head of one SQ, rebuilt by
+  /// each fused drain event and dead outside it. The gather pass fills
+  /// the descriptor columns; the batched protection pass fills mr_ok;
+  /// the processing loop then consumes both. Member (not stack) so the
+  /// columns' capacity is reused across bursts.
+  struct SqBurst {
+    std::vector<std::uint8_t> opcode;    // static_cast<uint8_t>(Opcode)
+    std::vector<std::uint32_t> len;      // payload bytes
+    std::vector<std::uintptr_t> addr;    // sge.addr
+    std::vector<std::uint32_t> sge_len;  // sge.length
+    std::vector<std::uint32_t> lkey;
+    std::vector<std::uint8_t> inline_or_empty;  // skips the MR lookup
+    std::vector<std::uint8_t> mr_ok;
+    void clear() {
+      opcode.clear();
+      len.clear();
+      addr.clear();
+      sge_len.clear();
+      lkey.clear();
+      inline_or_empty.clear();
+      mr_ok.clear();
+    }
+    std::size_t size() const { return opcode.size(); }
+  };
+  SqBurst burst_;
 
   NicCounters counters_;
 };

@@ -11,10 +11,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <utility>
+#include <vector>
 
 #include "nic/types.hpp"
+#include "sim/slab.hpp"
 
 namespace cord::nic {
 
@@ -79,7 +80,8 @@ class WrPool {
       free_ = node->next_free;
       node->next_free = nullptr;
     } else {
-      node = &nodes_.emplace_back();
+      nodes_.push_back(sim::make_slab<WrRef::Node>());
+      node = nodes_.back().get();
       node->pool = this;
     }
     node->wr = std::move(wr);
@@ -105,7 +107,9 @@ class WrPool {
     --outstanding_;
   }
 
-  std::deque<WrRef::Node> nodes_;  // deque: node addresses are stable
+  // Slab-backed: node addresses are stable, and nodes acquired together
+  // sit adjacent in the arena's size-classed slabs.
+  std::vector<sim::SlabPtr<WrRef::Node>> nodes_;
   WrRef::Node* free_ = nullptr;
   std::size_t outstanding_ = 0;
 };

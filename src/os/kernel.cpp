@@ -29,6 +29,30 @@ Kernel::Kernel(sim::Engine& engine, nic::Nic& nic, KernelConfig cfg)
   metrics_.callback_gauge("engine.queue_resizes", [this] {
     return static_cast<std::int64_t>(engine_->queue_resizes());
   });
+  // This host's NIC doorbell/burst pipeline, mirrored the same way: how
+  // many doorbells rang, how many posts they absorbed, and how the fused
+  // SoA drain is batching WQE work (see nic::NicCounters).
+  metrics_.callback_gauge("nic.doorbells", [this] {
+    return static_cast<std::int64_t>(nic_->counters().doorbells);
+  });
+  metrics_.callback_gauge("nic.doorbells_coalesced", [this] {
+    return static_cast<std::int64_t>(nic_->counters().doorbells_coalesced);
+  });
+  metrics_.callback_gauge("nic.sq_bursts", [this] {
+    return static_cast<std::int64_t>(nic_->counters().sq_bursts);
+  });
+  metrics_.callback_gauge("nic.sq_burst_wrs", [this] {
+    return static_cast<std::int64_t>(nic_->counters().sq_burst_wrs);
+  });
+  metrics_.callback_gauge("nic.sq_fused_batches", [this] {
+    return static_cast<std::int64_t>(nic_->counters().sq_fused_batches);
+  });
+  metrics_.callback_gauge("nic.seg_msgs", [this] {
+    return static_cast<std::int64_t>(nic_->counters().seg_msgs);
+  });
+  metrics_.callback_gauge("nic.seg_chunks", [this] {
+    return static_cast<std::int64_t>(nic_->counters().seg_chunks);
+  });
 }
 
 const Kernel::TenantMetrics& Kernel::tenant_metrics(TenantId tenant) {

@@ -10,6 +10,7 @@
 
 #include "fabric/link.hpp"
 #include "nic/nic.hpp"
+#include "nic/segment.hpp"
 #include "sim/engine.hpp"
 
 namespace cord::nic {
@@ -26,7 +27,9 @@ struct TwoNodeFixture {
   std::unique_ptr<Nic> nic0;
   std::unique_ptr<Nic> nic1;
 
-  explicit TwoNodeFixture(NicConfig c = {}) : cfg(c) {
+  explicit TwoNodeFixture(NicConfig c = {},
+                          sim::QueueKind q = sim::QueueKind::kHeap)
+      : engine(q), cfg(c) {
     network.add_node(0, sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
     network.add_node(1, sim::Bandwidth::gbit_per_sec(200.0), sim::ns(150));
     network.connect(0, 1, sim::Bandwidth::gbit_per_sec(100.0), sim::ns(150));
@@ -733,6 +736,127 @@ TEST(SqDepth, BackpressureWhenFull) {
   EXPECT_EQ(f.nic0->post_send(*qp, SendWr{wr}), kOk);
   EXPECT_EQ(f.nic0->post_send(*qp, SendWr{wr}), kOk);
   EXPECT_EQ(f.nic0->post_send(*qp, SendWr{wr}), kErrQueueFull);
+}
+
+// --- MTU segmentation contract (nic/segment.hpp) -----------------------
+
+TEST(Segmentation, ChunkCountAtMtuBoundaries) {
+  constexpr std::uint32_t kMtu = 4096;
+  EXPECT_EQ(chunk_count(0, kMtu), 1u) << "zero-length = one header-only chunk";
+  EXPECT_EQ(chunk_count(1, kMtu), 1u);
+  EXPECT_EQ(chunk_count(kMtu - 1, kMtu), 1u);
+  EXPECT_EQ(chunk_count(kMtu, kMtu), 1u) << "exact MTU must not round up";
+  EXPECT_EQ(chunk_count(kMtu + 1, kMtu), 2u);
+  EXPECT_EQ(chunk_count(3ull * kMtu, kMtu), 3u);
+  EXPECT_EQ(chunk_count(3ull * kMtu + 1, kMtu), 4u);
+  // Max-size message (2 GiB, the verbs single-WR ceiling): no overflow.
+  constexpr std::uint64_t kMax = 1ull << 31;
+  EXPECT_EQ(chunk_count(kMax, kMtu), kMax / kMtu);
+}
+
+TEST(Segmentation, ForEachChunkMatchesCountAndConservesBytes) {
+  constexpr std::uint32_t kMtu = 4096;
+  for (const std::uint64_t bytes :
+       {0ull, 1ull, 4095ull, 4096ull, 4097ull, 3ull * 4096, 3ull * 4096 + 1,
+        1ull << 31}) {
+    std::uint64_t chunks = 0;
+    std::uint64_t sum = 0;
+    std::uint32_t last = 0;
+    for_each_chunk(bytes, kMtu, [&](std::uint32_t c) {
+      ++chunks;
+      sum += c;
+      last = c;
+      EXPECT_LE(c, kMtu);
+    });
+    EXPECT_EQ(chunks, chunk_count(bytes, kMtu)) << "bytes=" << bytes;
+    EXPECT_EQ(sum, bytes) << "bytes=" << bytes;
+    if (bytes == 0) {
+      EXPECT_EQ(last, 0u) << "zero-length message still emits one chunk";
+    } else {
+      EXPECT_EQ(last, bytes % kMtu == 0 ? kMtu : bytes % kMtu);
+    }
+  }
+}
+
+TEST(Segmentation, NicCountersTrackExactChunkCounts) {
+  // Sends straddling every MTU boundary case: 0, 1, MTU, k*MTU, k*MTU+1.
+  TwoNodeFixture f;
+  auto p = f.connect_rc();
+  const std::uint32_t mtu = f.cfg.mtu;
+  const std::vector<std::uint32_t> sizes = {0, 1, mtu, 3 * mtu, 3 * mtu + 1};
+  const std::uint32_t max_size = 3 * mtu + 1;
+  std::vector<std::byte> src(max_size), dst(max_size);
+  const auto& smr = f.nic0->register_mr(p.pd0, src.data(), src.size(), 0);
+  const auto& rmr =
+      f.nic1->register_mr(p.pd1, dst.data(), dst.size(), kAccessLocalWrite);
+  std::uint64_t want_chunks = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ASSERT_EQ(f.nic1->post_recv(
+                  *p.qp1,
+                  RecvWr{i, {reinterpret_cast<std::uintptr_t>(dst.data()),
+                             max_size, rmr.lkey}}),
+              kOk);
+    ASSERT_EQ(f.nic0->post_send(
+                  *p.qp0,
+                  SendWr{.wr_id = i,
+                         .opcode = Opcode::kSend,
+                         .sge = {reinterpret_cast<std::uintptr_t>(src.data()),
+                                 sizes[i], smr.lkey},
+                         .signaled = true}),
+              kOk);
+    want_chunks += chunk_count(sizes[i], mtu);
+  }
+  f.engine.run();
+  std::vector<Cqe> wc(sizes.size() + 1);
+  EXPECT_EQ(p.scq0->poll(wc), sizes.size());
+  EXPECT_EQ(p.rcq1->poll(wc), sizes.size());
+  EXPECT_EQ(f.nic0->counters().seg_msgs, sizes.size());
+  EXPECT_EQ(f.nic0->counters().seg_chunks, want_chunks);
+}
+
+TEST(Segmentation, DeliveryTimesIdenticalAcrossQueueBackends) {
+  // The same boundary-size workload must finish at the same simulated
+  // instant under the heap and calendar event queues — segmentation math
+  // must not depend on the scheduler backend.
+  auto run = [](sim::QueueKind q) {
+    TwoNodeFixture f({}, q);
+    auto p = f.connect_rc();
+    const std::uint32_t mtu = f.cfg.mtu;
+    const std::uint32_t max_size = 3 * mtu + 1;
+    std::vector<std::byte> src(max_size), dst(max_size);
+    const auto& smr = f.nic0->register_mr(p.pd0, src.data(), src.size(), 0);
+    const auto& rmr =
+        f.nic1->register_mr(p.pd1, dst.data(), dst.size(), kAccessLocalWrite);
+    std::vector<Time> completion_times;
+    p.scq0->set_event_handler([&](CompletionQueue& cq) {
+      completion_times.push_back(f.engine.now());
+      cq.arm();
+    });
+    p.scq0->arm();
+    for (const std::uint32_t size : {1u, mtu, 3 * mtu, 3 * mtu + 1}) {
+      EXPECT_EQ(f.nic1->post_recv(
+                    *p.qp1,
+                    RecvWr{size, {reinterpret_cast<std::uintptr_t>(dst.data()),
+                                  max_size, rmr.lkey}}),
+                kOk);
+      EXPECT_EQ(
+          f.nic0->post_send(
+              *p.qp0,
+              SendWr{.wr_id = size,
+                     .opcode = Opcode::kSend,
+                     .sge = {reinterpret_cast<std::uintptr_t>(src.data()),
+                             size, smr.lkey},
+                     .signaled = true}),
+          kOk);
+    }
+    f.engine.run();
+    completion_times.push_back(f.engine.now());
+    return completion_times;
+  };
+  const auto heap = run(sim::QueueKind::kHeap);
+  const auto calendar = run(sim::QueueKind::kCalendar);
+  ASSERT_EQ(heap.size(), 5u) << "4 completions + final engine time";
+  EXPECT_EQ(heap, calendar);
 }
 
 }  // namespace

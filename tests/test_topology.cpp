@@ -465,6 +465,42 @@ TEST(RackGolden, BandwidthIsShardInvariant) {
   }
 }
 
+TEST(RackGolden, MtuBoundarySizesAreShardAndBackendInvariant) {
+  // MTU segmentation edge cases (1 byte, exactly k*MTU, k*MTU + 1) across
+  // the routed rack fabric: the fused per-burst segmentation must produce
+  // bit-identical latencies at every shard count under both event-queue
+  // backends. The NIC default MTU is 4096.
+  const auto cfg = core::system_l();
+  for (const std::size_t msg_size : {std::size_t{1}, std::size_t{4096},
+                                     std::size_t{3 * 4096},
+                                     std::size_t{3 * 4096 + 1}}) {
+    auto params = [&](std::size_t shards, sim::QueueKind queue) {
+      perftest::Params p = rack_params(perftest::TestOp::kSend, shards);
+      p.msg_size = msg_size;
+      p.iterations = 10;
+      p.warmup = 2;
+      p.queue = queue;
+      return p;
+    };
+    const auto single =
+        perftest::run_latency(cfg, params(1, sim::QueueKind::kHeap));
+    EXPECT_GT(single.avg_us, 0.0);
+    for (const sim::QueueKind queue :
+         {sim::QueueKind::kHeap, sim::QueueKind::kCalendar}) {
+      for (const std::size_t shards : {1u, 2u, 4u}) {
+        if (shards == 1 && queue == sim::QueueKind::kHeap) continue;
+        SCOPED_TRACE("msg_size=" + std::to_string(msg_size) + " " +
+                     std::string(sim::queue_kind_name(queue)) +
+                     " shards=" + std::to_string(shards));
+        const auto r = perftest::run_latency(cfg, params(shards, queue));
+        EXPECT_EQ(r.avg_us, single.avg_us);
+        EXPECT_EQ(r.p50_us, single.p50_us);
+        EXPECT_EQ(r.p99_us, single.p99_us);
+      }
+    }
+  }
+}
+
 TEST(RackGolden, CanonicalTraceIsShardInvariant) {
   const auto cfg = core::system_l();
   auto capture = [&](std::size_t shards, sim::QueueKind queue) {

@@ -410,4 +410,38 @@ TEST(SystemMetrics, EngineGaugesAreLive) {
   EXPECT_EQ(sys.metrics().gauge_value("engine.clamped_events"), 0);
 }
 
+TEST(SystemMetrics, NicGaugesMirrorDoorbellAndBurstCounters) {
+  // Ten sequential RC sends (each waits for its completion): every post
+  // rings its own doorbell, activates one burst of one WR, and the fused
+  // drain (no tracer attached) segments one 64-byte chunk per message.
+  core::System sys(core::system_l(), 2);
+  std::uint32_t qpn = 0;
+  int failures = 0;
+  sys.engine().spawn(ten_sends(sys, verbs::DataplaneMode::kCord, qpn, failures));
+  sys.engine().run();
+  ASSERT_EQ(failures, 0);
+
+  // System-wide sums over hosts.
+  EXPECT_EQ(sys.metrics().gauge_value("nic.doorbells"), 10);
+  EXPECT_EQ(sys.metrics().gauge_value("nic.doorbells_coalesced"), 0);
+  EXPECT_EQ(sys.metrics().gauge_value("nic.sq_bursts"), 10);
+  EXPECT_EQ(sys.metrics().gauge_value("nic.sq_burst_wrs"), 10);
+  EXPECT_EQ(sys.metrics().gauge_value("nic.sq_fused_batches"), 10);
+  EXPECT_EQ(sys.metrics().gauge_value("nic.seg_msgs"), 10);
+  EXPECT_EQ(sys.metrics().gauge_value("nic.seg_chunks"), 10);
+
+  // Per-host mirror through the kernel's /proc-style metrics read: host 0
+  // did all the sending, host 1 none.
+  os::Kernel& k0 = sys.host(0).kernel();
+  const std::string dump = k0.proc_read("metrics");
+  for (const char* name :
+       {"nic.doorbells", "nic.doorbells_coalesced", "nic.sq_bursts",
+        "nic.sq_burst_wrs", "nic.sq_fused_batches", "nic.seg_msgs",
+        "nic.seg_chunks"}) {
+    EXPECT_NE(dump.find(name), std::string::npos) << name;
+  }
+  EXPECT_EQ(k0.metrics().gauge_value("nic.sq_burst_wrs"), 10);
+  EXPECT_EQ(sys.host(1).kernel().metrics().gauge_value("nic.sq_burst_wrs"), 0);
+}
+
 }  // namespace
