@@ -8,6 +8,11 @@
 //     engine's schedule/dispatch hot path with no Tracer object vs with a
 //     Tracer constructed but disabled. These must be indistinguishable
 //     (the engine only carries a never-read null pointer).
+//   * ScheduleDispatch_CausalIdle — the same path with the full causal
+//     analysis layer instantiated and its watchdog armed, tracing still
+//     disabled. The causal layer is pull-based (it only reads the trace
+//     buffer when a report is requested), so this too must be
+//     indistinguishable from NoTracer.
 //   * SendPath_TracingOff vs SendPath_TracingOn — a full RC send through
 //     the NIC model with trace points compiled in but disarmed, vs armed
 //     and recording ~10 records per message.
@@ -22,6 +27,7 @@
 
 #include "nic/nic.hpp"
 #include "sim/engine.hpp"
+#include "trace/causal/aggregate.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -52,6 +58,22 @@ void BM_ScheduleDispatch_TracerIdle(benchmark::State& state) {
   benchmark::DoNotOptimize(tracer.size());
 }
 BENCHMARK(BM_ScheduleDispatch_TracerIdle);
+
+void BM_ScheduleDispatch_CausalIdle(benchmark::State& state) {
+  sim::Engine engine;
+  trace::Tracer tracer(engine);  // constructed, never enabled
+  trace::causal::Aggregator causal;
+  causal.set_default_slo({99.0, sim::us(1)});  // watchdog armed, never fed
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    engine.call_in(sim::ns(10), [&] { ++fired; });
+    engine.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  benchmark::DoNotOptimize(tracer.size());
+  benchmark::DoNotOptimize(causal.spans());
+}
+BENCHMARK(BM_ScheduleDispatch_CausalIdle);
 
 /// One inline RC send end-to-end through the NIC model (mirrors
 /// micro_sim's BM_NicEndToEndMessage so numbers are comparable).

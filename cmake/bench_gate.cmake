@@ -63,8 +63,11 @@ endfunction()
 
 set(_failures "")
 
+# Fresh outputs are named BENCH_*.json so CI can upload them verbatim as
+# artifacts (the workflow globs build/bench_gate/BENCH_*.json).
+
 # --- 1. micro_sim vs committed baseline ------------------------------------
-set(_fresh "${OUT_DIR}/micro_sim_fresh.json")
+set(_fresh "${OUT_DIR}/BENCH_micro_sim.json")
 execute_process(
   COMMAND "${MICRO_SIM}" --benchmark_format=json --benchmark_out=${_fresh}
           --benchmark_out_format=json --benchmark_min_time=0.3
@@ -146,7 +149,7 @@ foreach(_name ${_nic_required})
 endforeach()
 
 # --- 2. trace-overhead check ----------------------------------------------
-set(_trace "${OUT_DIR}/trace_overhead.json")
+set(_trace "${OUT_DIR}/BENCH_trace_overhead.json")
 execute_process(
   COMMAND "${TRACE_BENCH}" --benchmark_format=json --benchmark_out=${_trace}
           --benchmark_out_format=json --benchmark_min_time=0.3
@@ -158,7 +161,8 @@ endif()
 
 load_bench_times("${_trace}" TR)
 if(NOT DEFINED TR_BM_ScheduleDispatch_NoTracer OR
-   NOT DEFINED TR_BM_ScheduleDispatch_TracerIdle)
+   NOT DEFINED TR_BM_ScheduleDispatch_TracerIdle OR
+   NOT DEFINED TR_BM_ScheduleDispatch_CausalIdle)
   list(APPEND _failures
        "trace-overhead benchmarks missing from abl_trace_overhead output")
 else()
@@ -171,6 +175,18 @@ else()
     message(STATUS "trace overhead (engine dispatch, idle tracer vs none): "
             "${TR_BM_ScheduleDispatch_TracerIdle} vs ${TR_BM_ScheduleDispatch_NoTracer} ns — OK")
   endif()
+  # The causal analysis layer (aggregator + armed watchdog) is pull-based:
+  # with tracing disabled it must add nothing to the dispatch path either.
+  check_regression("${TR_BM_ScheduleDispatch_NoTracer}"
+                   "${TR_BM_ScheduleDispatch_CausalIdle}" "${TOLERANCE}" _pct)
+  if(_pct)
+    list(APPEND _failures
+         "idle causal layer taxes the engine dispatch path: ${TR_BM_ScheduleDispatch_CausalIdle} ns vs ${TR_BM_ScheduleDispatch_NoTracer} ns (+${_pct}%, limit +${TOLERANCE}%)")
+  else()
+    message(STATUS "causal-layer overhead (engine dispatch, armed-but-idle "
+            "aggregator vs none): ${TR_BM_ScheduleDispatch_CausalIdle} vs "
+            "${TR_BM_ScheduleDispatch_NoTracer} ns — OK")
+  endif()
 endif()
 
 # --- 3. sharding-layer overhead on single-engine runs -----------------------
@@ -180,7 +196,7 @@ endif()
 # (BM_ShardScalingRack/1) — and must not regress against their committed
 # baselines (BENCH_shard_scaling.json). Multi-shard configs are NOT gated:
 # their wall time depends on the host's core count.
-set(_shard "${OUT_DIR}/shard_scaling.json")
+set(_shard "${OUT_DIR}/BENCH_shard_scaling.json")
 execute_process(
   COMMAND "${SHARD_BENCH}" --benchmark_format=json --benchmark_out=${_shard}
           --benchmark_out_format=json --benchmark_min_time=0.3

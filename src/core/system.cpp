@@ -220,6 +220,18 @@ System::System(SystemConfig cfg, std::size_t host_count, std::size_t shards,
   metrics_.callback_gauge("nic.seg_chunks", [nic_sum] {
     return nic_sum(&nic::NicCounters::seg_chunks);
   });
+  // Causal-layer health: spans analyzed, watchdog firings, and the global
+  // p99 end-to-end latency — all views of the aggregate analyze_causal()
+  // last built (zero until it runs; no data-path cost ever).
+  metrics_.callback_gauge("causal.spans", [this] {
+    return static_cast<std::int64_t>(causal_.spans());
+  });
+  metrics_.callback_gauge("causal.watchdog_violations", [this] {
+    return static_cast<std::int64_t>(causal_.watchdog_violations());
+  });
+  metrics_.callback_gauge("causal.p99_e2e_ns", [this] {
+    return static_cast<std::int64_t>(causal_.e2e().percentile(99.0) / 1e3);
+  });
 }
 
 void System::set_tracing(bool on) {
@@ -240,6 +252,12 @@ std::uint64_t System::trace_dropped() const {
   std::uint64_t d = 0;
   for (const auto& t : tracers_) d += t->dropped();
   return d;
+}
+
+const trace::causal::Aggregator& System::analyze_causal() {
+  causal_.clear();
+  causal_.ingest(merged_trace());
+  return causal_;
 }
 
 }  // namespace cord::core

@@ -28,6 +28,7 @@
 #include "fabric/topology.hpp"
 #include "os/kernel.hpp"
 #include "sim/sharded.hpp"
+#include "trace/causal/aggregate.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "verbs/verbs.hpp"
@@ -116,6 +117,17 @@ class System {
   /// Records dropped across all shard tracers (ring overflow).
   std::uint64_t trace_dropped() const;
 
+  /// Rebuild the system-wide causal aggregate from the current merged
+  /// trace (clears previous observations; SLO configuration is kept).
+  /// Shard-invariant: same simulation, any shard count or queue backend →
+  /// identical aggregate state. Feeds the causal.* gauges in metrics().
+  const trace::causal::Aggregator& analyze_causal();
+  /// The causal aggregate as last built by analyze_causal() (empty until
+  /// the first call). Configure SLOs here before running:
+  /// `causal().set_slo(...)` — const_cast-free via the non-const overload.
+  trace::causal::Aggregator& causal() { return causal_; }
+  const trace::causal::Aggregator& causal() const { return causal_; }
+
   /// System-wide metrics: live views of engine health (events processed,
   /// event-count clamp) — distinct from each host kernel's registry.
   trace::MetricsRegistry& metrics() { return metrics_; }
@@ -145,6 +157,7 @@ class System {
   std::vector<std::unique_ptr<os::Host>> hosts_;
   std::vector<std::unique_ptr<trace::Tracer>> tracers_;
   trace::MetricsRegistry metrics_;
+  trace::causal::Aggregator causal_;
 };
 
 }  // namespace cord::core

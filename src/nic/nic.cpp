@@ -459,10 +459,15 @@ void Nic::trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
                       NodeId dst_node, std::uint64_t len, sim::Time at) {
   trace::Tracer* tr = engine_->tracer();
   const auto node = static_cast<std::uint8_t>(node_);
-  tr->record_at(at, trace::Point::kWqeFetch, wr.trace_span, qpn, 0, node, len);
+  // `at` is the end of the reserved WQE-processing slot; back-dating the
+  // fetch record by the slot width plumbs the reservation into the trace
+  // (the causal analyzer reads service time as record duration and closes
+  // the NIC scheduling stage at t + dur == at).
+  tr->record_at(at - cfg_.wqe_processing, trace::Point::kWqeFetch,
+                wr.trace_span, qpn, 0, node, len, cfg_.wqe_processing);
   if (!wr.inline_data && len > 0) {
     tr->record_at(at, trace::Point::kDmaFetch, wr.trace_span, qpn, 0, node,
-                  len);
+                  len, dma_fetch_time(len));
   }
   tr->record_at(at, trace::Point::kWireTx, wr.trace_span, qpn, 0, node, len,
                 t.wire_done - at);
@@ -476,10 +481,26 @@ void Nic::trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
 void Nic::trace_fetch(std::uint32_t qpn, const SendWr& wr, std::uint64_t len) {
   trace::Tracer* tr = engine_->tracer();
   const auto node = static_cast<std::uint8_t>(node_);
-  tr->record(trace::Point::kWqeFetch, wr.trace_span, qpn, 0, node, len);
+  // Same reservation plumbing as trace_chain (runs at the end of the
+  // processing slot), so cross-shard chains carry identical durations.
+  const sim::Time at = engine_->now();
+  tr->record_at(at - cfg_.wqe_processing, trace::Point::kWqeFetch,
+                wr.trace_span, qpn, 0, node, len, cfg_.wqe_processing);
   if (!wr.inline_data && len > 0) {
-    tr->record(trace::Point::kDmaFetch, wr.trace_span, qpn, 0, node, len);
+    tr->record_at(at, trace::Point::kDmaFetch, wr.trace_span, qpn, 0, node,
+                  len, dma_fetch_time(len));
   }
+}
+
+sim::Time Nic::dma_fetch_time(std::uint64_t len) const {
+  // Summed PCIe occupancy of the payload's MTU chunks — the same
+  // segmentation schedule_chain_src reserves, reproduced arithmetically
+  // so fused and cross-shard paths trace identical service durations.
+  sim::Time total = 0;
+  for_each_chunk(len, cfg_.mtu, [&](std::uint32_t chunk) {
+    total += cfg_.pcie_bandwidth.time_for(chunk);
+  });
+  return total;
 }
 
 void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,

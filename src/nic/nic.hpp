@@ -281,6 +281,9 @@ class Nic {
   /// boundary-crossing path, where the destination shard emits kWireTx and
   /// kDmaDeliver once it has computed the true wire arrival.
   void trace_fetch(std::uint32_t qpn, const SendWr& wr, std::uint64_t len);
+  /// Summed PCIe occupancy of a payload's MTU chunks (the source-side DMA
+  /// service time plumbed into kDmaFetch records).
+  sim::Time dma_fetch_time(std::uint64_t len) const;
 
   void complete_at(sim::Time at, CompletionQueue& cq, Cqe cqe);
   /// Sender-side completion for wr_id on `qpn` (releases the SQ credit;

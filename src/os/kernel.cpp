@@ -53,6 +53,31 @@ Kernel::Kernel(sim::Engine& engine, nic::Nic& nic, KernelConfig cfg)
   metrics_.callback_gauge("nic.seg_chunks", [this] {
     return static_cast<std::int64_t>(nic_->counters().seg_chunks);
   });
+  // Tail-latency watchdog firings (causal layer). The refresh happens at
+  // read time, so an armed-but-unread watchdog still costs nothing on the
+  // data path.
+  metrics_.callback_gauge("kernel.watchdog_violations", [this] {
+    refresh_causal();
+    return static_cast<std::int64_t>(causal_.watchdog_violations());
+  });
+}
+
+void Kernel::refresh_causal() const {
+  trace::Tracer* tr = engine_->tracer();
+  if (tr == nullptr) return;
+  if (tr->size() < causal_cursor_) {
+    // Tracer was cleared since the last refresh; start over.
+    causal_.clear();
+    causal_cursor_ = 0;
+  }
+  if (tr->size() == causal_cursor_) return;
+  std::vector<trace::Record> batch;
+  batch.reserve(tr->size() - causal_cursor_);
+  for (std::size_t i = causal_cursor_; i < tr->size(); ++i) {
+    batch.push_back((*tr)[i]);
+  }
+  causal_cursor_ = tr->size();
+  causal_.ingest(batch);
 }
 
 const Kernel::TenantMetrics& Kernel::tenant_metrics(TenantId tenant) {
@@ -330,6 +355,22 @@ std::string Kernel::proc_read(std::string_view path) const {
     std::string out;
     append_tenant_line(out, metrics_, t);
     return out;
+  }
+  if (path == "latency") {
+    refresh_causal();
+    return causal_.latency_report();
+  }
+  if (path == "critpath") {
+    refresh_causal();
+    return causal_.critpath_report();
+  }
+  constexpr std::string_view kLatency = "latency/";
+  if (path.size() > kLatency.size() &&
+      path.substr(0, kLatency.size()) == kLatency) {
+    refresh_causal();
+    const std::uint32_t t = static_cast<std::uint32_t>(
+        std::atoi(std::string(path.substr(kLatency.size())).c_str()));
+    return causal_.tenant_report(t);
   }
   constexpr std::string_view kQp = "qp/";
   if (path.size() > kQp.size() && path.substr(0, kQp.size()) == kQp) {

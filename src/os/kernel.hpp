@@ -26,6 +26,7 @@
 #include "os/cpu.hpp"
 #include "os/policy.hpp"
 #include "sim/event.hpp"
+#include "trace/causal/aggregate.hpp"
 #include "trace/metrics.hpp"
 
 namespace cord::os {
@@ -104,13 +105,42 @@ class Kernel {
   const trace::MetricsRegistry& metrics() const { return metrics_; }
 
   /// /proc-style query interface. Supported paths:
-  ///   "metrics"       full registry dump (one metric per line)
-  ///   "syscalls"      syscall / interrupt totals
-  ///   "tenants"       one summary line per tenant the kernel has seen
-  ///   "tenant/<id>"   detailed metrics for one tenant
-  ///   "qp/<qpn>"      traffic counters of one queue pair
-  /// Unknown paths return the empty string.
+  ///   "metrics"          full registry dump (one metric per line)
+  ///   "syscalls"         syscall / interrupt totals
+  ///   "tenants"          one summary line per tenant the kernel has seen
+  ///   "tenant/<id>"      detailed metrics for one tenant
+  ///   "qp/<qpn>"         traffic counters of one queue pair
+  ///   "latency"          causal latency report: e2e percentiles +
+  ///                      per-stage share/queue table (trace-derived)
+  ///   "latency/<id>"     one tenant's causal latency report
+  ///   "critpath"         critical-path summary + slowest-span waterfalls
+  /// Unknown paths return the empty string. The latency surfaces are
+  /// pull-based: reading them drains any new records from this engine's
+  /// tracer into the causal aggregator (zero cost on the data path; they
+  /// report "no trace data" while tracing is disarmed).
   std::string proc_read(std::string_view path) const;
+
+  // --- causal latency attribution / tail-latency watchdog ---------------
+  /// Arm the tail-latency watchdog for one tenant: fire when the tenant's
+  /// observed `percentile` of end-to-end latency exceeds `budget`.
+  void set_latency_slo(TenantId tenant, double percentile, sim::Time budget) {
+    causal_.set_slo(tenant, {percentile, budget});
+  }
+  /// Arm the watchdog for every tenant without a specific SLO.
+  void set_default_latency_slo(double percentile, sim::Time budget) {
+    causal_.set_default_slo({percentile, budget});
+  }
+  /// The causal aggregator, refreshed from the tracer first (same pull
+  /// path the proc surfaces use).
+  const trace::causal::Aggregator& causal() const {
+    refresh_causal();
+    return causal_;
+  }
+  /// Watchdog firings recorded so far (refreshes first).
+  std::span<const trace::causal::WatchdogEvent> watchdog_events() const {
+    refresh_causal();
+    return causal_.watchdog_events();
+  }
 
  private:
   /// Hot-path metric handles for one tenant (pointers into metrics_, which
@@ -128,6 +158,9 @@ class Kernel {
   /// Full ioctl round trip: crossing + serialization + command.
   sim::Task<> ioctl(Core& core, sim::Time cmd_cost);
   sim::Signal& cq_signal(nic::CompletionQueue& cq);
+  /// Drain records the engine's tracer appended since the last refresh
+  /// into the causal aggregator (no-op while tracing is disarmed).
+  void refresh_causal() const;
 
   sim::Engine* engine_;
   nic::Nic* nic_;
@@ -138,6 +171,11 @@ class Kernel {
   std::uint64_t interrupts_ = 0;
   trace::MetricsRegistry metrics_;
   std::vector<TenantMetrics> tenant_metrics_;
+  /// Causal latency aggregation (pull-based: fed by refresh_causal from
+  /// the proc surfaces, never from the data path). Mutable so the const
+  /// read paths can lazily drain the tracer.
+  mutable trace::causal::Aggregator causal_;
+  mutable std::size_t causal_cursor_ = 0;
 };
 
 /// A host: one NIC, one kernel, N cores. Benchmark processes and MPI

@@ -26,6 +26,7 @@ ShardedEngine::ShardedEngine(std::size_t shard_count, QueueKind queue) {
   out_min_.assign(shard_count, kUnboundedLookahead);
   window_end_.assign(shard_count, 0);
   stats_.barrier_wait_ns.assign(shard_count, 0);
+  stats_.barrier_waits.assign(shard_count, 0);
 }
 
 ShardedEngine::~ShardedEngine() = default;
@@ -208,6 +209,7 @@ Time ShardedEngine::run() {
   stats_.windows = 0;
   stats_.messages = 0;
   std::fill(stats_.barrier_wait_ns.begin(), stats_.barrier_wait_ns.end(), 0);
+  std::fill(stats_.barrier_waits.begin(), stats_.barrier_waits.end(), 0);
   if (shard_count() == 1) return engines_[0]->run();
   return run_parallel();
 }
@@ -261,6 +263,7 @@ Time ShardedEngine::run_parallel() {
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - idle0)
                 .count());
+        stats_.barrier_waits[i]++;
       }
     });
   }

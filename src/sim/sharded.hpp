@@ -59,6 +59,9 @@ struct ShardStats {
   /// Wall-clock nanoseconds each shard spent blocked on the window-edge
   /// barrier waiting for stragglers (sync idle; feeds the flame view).
   std::vector<std::uint64_t> barrier_wait_ns;
+  /// Window-edge barriers each shard blocked on (the wait count behind
+  /// barrier_wait_ns; feeds the critical-path report's sync section).
+  std::vector<std::uint64_t> barrier_waits;
 };
 
 class ShardedEngine {

@@ -24,6 +24,14 @@ std::string_view to_string(Point p) {
   return "unknown";
 }
 
+Point point_from_name(std::string_view name) {
+  for (std::uint8_t i = 0; i < static_cast<std::uint8_t>(Point::kCount); ++i) {
+    const Point p = static_cast<Point>(i);
+    if (to_string(p) == name) return p;
+  }
+  return Point::kCount;
+}
+
 std::string_view category(Point p) {
   switch (p) {
     case Point::kVerbsPostSend:

@@ -59,6 +59,9 @@ enum class Point : std::uint8_t {
 };
 
 std::string_view to_string(Point p);
+/// Inverse of to_string; Point::kCount for unknown names (exporter
+/// round-tripping).
+Point point_from_name(std::string_view name);
 /// Chrome-trace category for a point ("verbs", "os", "nic").
 std::string_view category(Point p);
 

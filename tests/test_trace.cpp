@@ -318,6 +318,71 @@ TEST(ChromeTraceExport, ValidJsonWithOneEventPerRecord) {
 }
 
 // ---------------------------------------------------------------------------
+// Exporter round-tripping: export -> reparse recovers the records exactly
+// ---------------------------------------------------------------------------
+
+TEST(PointNames, RoundTripEveryPoint) {
+  for (std::uint8_t i = 0; i < static_cast<std::uint8_t>(trace::Point::kCount);
+       ++i) {
+    const auto p = static_cast<trace::Point>(i);
+    EXPECT_EQ(trace::point_from_name(trace::to_string(p)), p);
+  }
+  EXPECT_EQ(trace::point_from_name("not-a-point"), trace::Point::kCount);
+  EXPECT_EQ(trace::point_from_name(""), trace::Point::kCount);
+}
+
+TEST(ExportRoundTrip, CsvIsByteExact) {
+  const auto cfg = core::system_l();
+  const auto r =
+      perftest::run_latency(cfg, traced_params(verbs::DataplaneMode::kCord, 5));
+  ASSERT_FALSE(r.trace.empty());
+  const std::string csv = trace::records_csv(r.trace);
+  ASSERT_FALSE(csv.empty());
+  const std::vector<trace::Record> parsed = trace::parse_records_csv(csv);
+  ASSERT_EQ(parsed.size(), r.trace.size());
+  // Field-exact: the 40-byte PODs memcmp equal...
+  EXPECT_EQ(std::memcmp(parsed.data(), r.trace.data(),
+                        parsed.size() * sizeof(trace::Record)),
+            0);
+  // ...and re-exporting reproduces the identical bytes.
+  EXPECT_EQ(trace::records_csv(parsed), csv);
+}
+
+TEST(ExportRoundTrip, ChromeJsonIsByteExact) {
+  const auto cfg = core::system_l();
+  const auto r =
+      perftest::run_latency(cfg, traced_params(verbs::DataplaneMode::kCord, 5));
+  ASSERT_FALSE(r.trace.empty());
+  const std::string json = trace::chrome_trace_json(r.trace);
+  const std::vector<trace::Record> parsed = trace::parse_chrome_trace(json);
+  ASSERT_EQ(parsed.size(), r.trace.size());
+  // The %.6f microsecond encoding is exact at 1 ps granularity, so even
+  // the picosecond timestamps survive the text round trip bit-for-bit.
+  EXPECT_EQ(std::memcmp(parsed.data(), r.trace.data(),
+                        parsed.size() * sizeof(trace::Record)),
+            0);
+  EXPECT_EQ(trace::chrome_trace_json(parsed), json);
+}
+
+TEST(ExportRoundTrip, ParsersSkipJunkLines) {
+  const std::string csv =
+      "t_ps,dur_ps,point,span,qpn,tenant,node,arg,aux\n"
+      "garbage line\n"
+      "100,5,wire-tx,1,256,2,0,64,0\n"
+      "100,5,no-such-point,1,256,2,0,64,0\n"
+      "100,5,wire-tx,1,256,2,999,64,0\n"  // node > 0xFF
+      "\n";
+  const auto parsed = trace::parse_records_csv(csv);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].t, 100);
+  EXPECT_EQ(parsed[0].dur, 5);
+  EXPECT_EQ(parsed[0].point, trace::Point::kWireTx);
+  EXPECT_EQ(parsed[0].qpn, 256u);
+  EXPECT_EQ(trace::parse_chrome_trace("{\"traceEvents\":[]}").size(), 0u);
+  EXPECT_EQ(trace::parse_chrome_trace("not json at all").size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Kernel-side observability surface
 // ---------------------------------------------------------------------------
 
