@@ -17,6 +17,10 @@
 #   OUT_DIR      scratch directory for fresh JSON output
 #   TOLERANCE    allowed regression in percent (e.g. 20)
 #
+# Optional:
+#   SPEC_FLOOR   minimum speculative-over-conservative wall-time speedup
+#                on the tight-lookahead shard benchmark (default 1.3)
+#
 # Note: this host is a single noisy core; the tolerance is deliberately
 # generous and the gate runs each binary once. Treat a failure as "rerun
 # and investigate", not proof by itself.
@@ -31,7 +35,10 @@ endforeach()
 
 file(MAKE_DIRECTORY "${OUT_DIR}")
 
-# {name -> cpu_time} of a google-benchmark JSON file into <prefix>_<name>.
+# {name -> cpu_time} of a google-benchmark JSON file into <prefix>_<name>,
+# plus {name -> real_time} into <prefix>_RT_<name> (the shard-scaling
+# entries are barrier-bound and gated on wall time: the main thread's
+# cpu_time excludes the shard workers).
 function(load_bench_times json_file prefix)
   file(READ "${json_file}" _doc)
   string(JSON _n LENGTH "${_doc}" "benchmarks")
@@ -40,8 +47,10 @@ function(load_bench_times json_file prefix)
   foreach(i RANGE 0 ${_last})
     string(JSON _name GET "${_doc}" "benchmarks" ${i} "name")
     string(JSON _time GET "${_doc}" "benchmarks" ${i} "cpu_time")
+    string(JSON _rt GET "${_doc}" "benchmarks" ${i} "real_time")
     string(MAKE_C_IDENTIFIER "${_name}" _id)
     set(${prefix}_${_id} "${_time}" PARENT_SCOPE)
+    set(${prefix}_RT_${_id} "${_rt}" PARENT_SCOPE)
     list(APPEND _names "${_name}")
   endforeach()
   set(${prefix}_NAMES "${_names}" PARENT_SCOPE)
@@ -189,18 +198,19 @@ else()
   endif()
 endif()
 
-# --- 3. sharding-layer overhead on single-engine runs -----------------------
-# The shards:1 configs of bench_shard_scaling are the classic single-engine
-# simulation driven through the ShardedEngine layer — over a direct-wire
-# pair fabric (BM_ShardScaling/1) and a routed 4-rack leaf-spine fabric
-# (BM_ShardScalingRack/1) — and must not regress against their committed
-# baselines (BENCH_shard_scaling.json). Multi-shard configs are NOT gated:
-# their wall time depends on the host's core count.
+# --- 3. shard-scaling matrix -------------------------------------------------
+# The full bench_shard_scaling matrix — {pairs, rack, tight-lookahead}
+# fabrics x 1/2/4/8 shards x {conservative, speculative} — gated on
+# real_time against the committed baseline (BENCH_shard_scaling.json).
+# Every entry is gated, including multi-shard ones: they bound the sync
+# protocols' barrier/thread overhead even on a 1-core host. Multi-shard
+# wall times are barrier-bound and noisier than single-engine loops, so
+# they get double tolerance; shards:1 entries (the sharding layer's tax on
+# classic single-engine runs) keep the strict one.
 set(_shard "${OUT_DIR}/BENCH_shard_scaling.json")
 execute_process(
   COMMAND "${SHARD_BENCH}" --benchmark_format=json --benchmark_out=${_shard}
           --benchmark_out_format=json --benchmark_min_time=0.3
-          "--benchmark_filter=BM_ShardScaling(Rack)?/1$"
   RESULT_VARIABLE _rc OUTPUT_QUIET)
 if(NOT _rc EQUAL 0)
   message(FATAL_ERROR "bench_gate: bench_shard_scaling failed (rc=${_rc})")
@@ -208,22 +218,68 @@ endif()
 
 load_bench_times("${SHARD_BASELINE}" SHBASE)
 load_bench_times("${_shard}" SHFRESH)
-foreach(_name "BM_ShardScaling/1" "BM_ShardScalingRack/1")
+math(EXPR _tol_multi "2 * ${TOLERANCE}")
+foreach(_name ${SHBASE_NAMES})
   string(MAKE_C_IDENTIFIER "${_name}" _id)
-  if(NOT DEFINED SHBASE_${_id} OR NOT DEFINED SHFRESH_${_id})
+  if(NOT DEFINED SHFRESH_RT_${_id})
     list(APPEND _failures
-         "${_name} missing from baseline or fresh run")
+         "${_name}: present in shard baseline, missing from fresh run")
     continue()
   endif()
-  check_regression("${SHBASE_${_id}}" "${SHFRESH_${_id}}" "${TOLERANCE}" _pct)
+  if(_name MATCHES "shards:1/")
+    set(_tol "${TOLERANCE}")
+  else()
+    set(_tol "${_tol_multi}")
+  endif()
+  check_regression("${SHBASE_RT_${_id}}" "${SHFRESH_RT_${_id}}" "${_tol}" _pct)
   if(_pct)
     list(APPEND _failures
-         "${_name}: cpu_time ${SHFRESH_${_id}} ns vs baseline ${SHBASE_${_id}} ns (+${_pct}%, limit +${TOLERANCE}%)")
-  else()
-    message(STATUS "shard-layer 1-shard overhead (${_name}): "
-            "${SHFRESH_${_id}} vs baseline ${SHBASE_${_id}} ns — OK")
+         "${_name}: real_time ${SHFRESH_RT_${_id}} ns vs baseline ${SHBASE_RT_${_id}} ns (+${_pct}%, limit +${_tol}%)")
   endif()
 endforeach()
+
+# Anti-disarm check (same idea as the NIC gate): the matrix entries that
+# carry the speedup floor must exist in the committed baseline itself, so
+# regenerating it without them cannot silently drop the gate.
+foreach(_name
+    "BM_ShardScaling/shards:1/spec:0/real_time"
+    "BM_ShardScalingRack/shards:1/spec:0/real_time"
+    "BM_ShardScalingTight/shards:4/spec:0/real_time"
+    "BM_ShardScalingTight/shards:4/spec:1/real_time")
+  string(MAKE_C_IDENTIFIER "${_name}" _id)
+  if(NOT DEFINED SHBASE_${_id})
+    list(APPEND _failures
+         "shard gate: ${_name} missing from committed baseline ${SHARD_BASELINE}")
+  endif()
+endforeach()
+
+# --- 3b. speculation speedup floor ------------------------------------------
+# The whole point of sync=speculative: on the tight-lookahead fabric at 4
+# shards the optimistic run must beat the conservative run by at least
+# SPEC_FLOOR in wall time, both measured in the SAME fresh pass (so host
+# noise cancels to first order). The win comes from ~depth-times fewer
+# barrier rounds, so it must hold even on a single core.
+if(NOT DEFINED SPEC_FLOOR)
+  set(SPEC_FLOOR 1.3)
+endif()
+string(MAKE_C_IDENTIFIER "BM_ShardScalingTight/shards:4/spec:0/real_time" _tc)
+string(MAKE_C_IDENTIFIER "BM_ShardScalingTight/shards:4/spec:1/real_time" _ts)
+if(NOT DEFINED SHFRESH_RT_${_tc} OR NOT DEFINED SHFRESH_RT_${_ts})
+  list(APPEND _failures
+       "speedup floor: BM_ShardScalingTight/shards:4 configs missing from fresh run")
+else()
+  execute_process(
+    COMMAND awk -v c=${SHFRESH_RT_${_tc}} -v s=${SHFRESH_RT_${_ts}} -v f=${SPEC_FLOOR}
+            "BEGIN { printf \"%.2f\", c / s; if (c >= s * f) exit 0; exit 1 }"
+    OUTPUT_VARIABLE _ratio RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    list(APPEND _failures
+         "speculation speedup floor: tight-lookahead 4-shard speculative is only ${_ratio}x faster than conservative (${SHFRESH_RT_${_ts}} vs ${SHFRESH_RT_${_tc}} ns real_time, floor ${SPEC_FLOOR}x)")
+  else()
+    message(STATUS "speculation speedup (tight-lookahead, 4 shards): "
+            "${_ratio}x over conservative (floor ${SPEC_FLOOR}x) — OK")
+  endif()
+endif()
 
 if(_failures)
   string(REPLACE ";" "\n  " _msg "${_failures}")

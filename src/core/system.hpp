@@ -53,6 +53,16 @@ struct SystemConfig {
   /// sim::parse_queue_kind). Both pop the identical (t, seq) order, so
   /// every simulated result is bit-for-bit unchanged either way.
   sim::QueueKind event_queue = sim::QueueKind::kHeap;
+  /// Shard-synchronization protocol (the runtime
+  /// sync=conservative|speculative knob, sim::parse_sync_mode). The
+  /// speculative mode lets shards run ahead of the conservative window
+  /// edge, journaling replayable dispatches and rolling back on late
+  /// cross-shard arrivals (DESIGN.md §17); simulated results stay
+  /// bit-for-bit identical under either mode. Inert when shards == 1.
+  sim::SyncMode sync = sim::SyncMode::kConservative;
+  /// Speculation throttle: how many lookahead windows past the
+  /// conservative edge a shard may run (>= 1; 1 = conservative pacing).
+  std::uint32_t speculation_depth = sim::ShardedEngine::kDefaultSpeculationDepth;
 
   /// Fabric topology between hosts.
   enum class Wiring {

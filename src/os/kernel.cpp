@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdlib>
 
+#include "sim/sharded.hpp"
 #include "trace/trace.hpp"
 
 namespace cord::os {
@@ -60,6 +61,30 @@ Kernel::Kernel(sim::Engine& engine, nic::Nic& nic, KernelConfig cfg)
     refresh_causal();
     return static_cast<std::int64_t>(causal_.watchdog_violations());
   });
+  // Shard-synchronization health, mirrored into every host's procfs view
+  // when this host's engine belongs to a sharded run (the counters are
+  // coordinator-wide, not per host — same value from any host). Read-time
+  // callbacks against live stats; the speculation counters stay zero under
+  // the conservative sync mode.
+  if (const sim::ShardedEngine* coord = engine_->coordinator()) {
+    const auto shard_gauge = [this, coord](std::string_view name,
+                                           std::uint64_t sim::ShardStats::*f) {
+      metrics_.callback_gauge(name, [coord, f] {
+        return static_cast<std::int64_t>(coord->stats().*f);
+      });
+    };
+    shard_gauge("sim.shard.windows", &sim::ShardStats::windows);
+    shard_gauge("sim.shard.messages", &sim::ShardStats::messages);
+    shard_gauge("sim.shard.rollbacks", &sim::ShardStats::rollbacks);
+    shard_gauge("sim.shard.rolled_back_events",
+                &sim::ShardStats::rolled_back_events);
+    shard_gauge("sim.shard.journaled_effects",
+                &sim::ShardStats::journaled_effects);
+    shard_gauge("sim.shard.cancelled_messages",
+                &sim::ShardStats::cancelled_messages);
+    shard_gauge("sim.shard.max_speculation_depth",
+                &sim::ShardStats::max_speculation_depth);
+  }
 }
 
 void Kernel::refresh_causal() const {

@@ -393,6 +393,8 @@ std::size_t topo_hosts(const Params& p) {
 /// config's wire bandwidth/propagation when Params::racks >= 1.
 core::SystemConfig topo_config(core::SystemConfig cfg, const Params& p) {
   cfg.event_queue = p.queue;
+  cfg.sync = p.sync;
+  cfg.speculation_depth = p.speculation_depth;
   if (p.racks > 0) {
     cfg.wiring = core::SystemConfig::Wiring::kRack;
     cfg.rack.racks = p.racks;
@@ -498,6 +500,8 @@ LatencyResult run_latency(const core::SystemConfig& cfg, const Params& p) {
   result.clamped_events = sys.sharded().clamped_events();
   result.shard_windows = sys.sharded().stats().windows;
   result.shard_messages = sys.sharded().stats().messages;
+  result.shard_rollbacks = sys.sharded().stats().rollbacks;
+  result.shard_journaled = sys.sharded().stats().journaled_effects;
   if (result.latency_us.count() == 0) {
     throw std::runtime_error("latency test produced no samples");
   }
@@ -616,6 +620,8 @@ BandwidthResult run_bandwidth(const core::SystemConfig& cfg, const Params& p) {
   result.clamped_events = sys.sharded().clamped_events();
   result.shard_windows = sys.sharded().stats().windows;
   result.shard_messages = sys.sharded().stats().messages;
+  result.shard_rollbacks = sys.sharded().stats().rollbacks;
+  result.shard_journaled = sys.sharded().stats().journaled_effects;
   if (result.messages == 0) {
     throw std::runtime_error("bandwidth test produced no result");
   }

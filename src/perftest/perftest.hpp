@@ -61,6 +61,13 @@ struct Params {
   /// SystemConfig::event_queue). Results are bit-identical either way —
   /// asserted against the heap goldens in the test suite.
   sim::QueueKind queue = sim::QueueKind::kHeap;
+  /// Shard synchronization (the sync=conservative|speculative knob,
+  /// forwarded to SystemConfig::sync). Results are bit-identical either
+  /// way — asserted against the single-engine goldens in the test suite.
+  sim::SyncMode sync = sim::SyncMode::kConservative;
+  /// Speculation throttle (windows past the conservative edge, >= 1;
+  /// forwarded to SystemConfig::speculation_depth).
+  std::uint32_t speculation_depth = sim::ShardedEngine::kDefaultSpeculationDepth;
   /// Arm the system tracer for the run and return the captured records in
   /// the result (off by default: tracing must never tax a benchmark run).
   bool capture_trace = false;
@@ -81,9 +88,12 @@ struct LatencyResult {
   /// Engine clamp count for the run — nonzero means the run was truncated
   /// and its numbers are suspect (surface it, don't bury it).
   std::uint64_t clamped_events = 0;
-  /// Sharded-run sync statistics (zero for single-engine runs).
+  /// Sharded-run sync statistics (zero for single-engine runs; the
+  /// speculation counters additionally need sync = kSpeculative).
   std::uint64_t shard_windows = 0;
   std::uint64_t shard_messages = 0;
+  std::uint64_t shard_rollbacks = 0;
+  std::uint64_t shard_journaled = 0;
 };
 
 struct BandwidthResult {
@@ -95,9 +105,12 @@ struct BandwidthResult {
   std::vector<trace::Record> trace;
   std::uint64_t trace_dropped = 0;
   std::uint64_t clamped_events = 0;
-  /// Sharded-run sync statistics (zero for single-engine runs).
+  /// Sharded-run sync statistics (zero for single-engine runs; the
+  /// speculation counters additionally need sync = kSpeculative).
   std::uint64_t shard_windows = 0;
   std::uint64_t shard_messages = 0;
+  std::uint64_t shard_rollbacks = 0;
+  std::uint64_t shard_journaled = 0;
 };
 
 /// Run a ping-pong latency test on a fresh instance of `cfg`.

@@ -48,7 +48,7 @@ Engine::~Engine() {
   // walk whole slabs.
   const auto clear_parked = [](const Item& item) {
     if (item.payload & kFnTag) {
-      reinterpret_cast<FnSlot*>(item.payload & ~kFnTag)->fn.clear();
+      reinterpret_cast<FnSlot*>(item.payload & ~kTagMask)->fn.clear();
     }
   };
   if (queue_kind_ == QueueKind::kHeap) {
@@ -57,6 +57,9 @@ Engine::~Engine() {
   } else {
     cal_.for_each(clear_parked);
   }
+  // Uncommitted speculative dispatches (a run that errored out mid-window)
+  // still own their slots — their callables were invoked but not released.
+  for (const SpecEntry& e : spec_.entries) clear_parked(e.item);
   // Retire slabs (now guaranteed all-empty) to the thread-local cache
   // instead of freeing them; see slab_cache().
   auto& cache = slab_cache();

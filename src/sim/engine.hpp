@@ -33,10 +33,13 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 #include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -85,22 +88,75 @@ class Engine {
   void call_at(Time t, F&& fn) {
     FnSlot* slot = acquire_slot();
     slot->fn.assign(std::forward<F>(fn));
-    push_fn(t, slot);
+    push_fn(t, slot, kFnTag);
   }
   /// Overload for a pre-built InlineFn (one relocation into the slot).
   void call_at(Time t, InlineFn fn) {
     FnSlot* slot = acquire_slot();
     slot->fn = std::move(fn);
-    push_fn(t, slot);
+    push_fn(t, slot, kFnTag);
   }
   template <typename F>
   void call_in(Time delay, F&& fn) {
     call_at(now_ + delay, std::forward<F>(fn));
   }
 
+  /// Like call_at, but marks the callback as *replayable*: under the
+  /// speculative sharded sync mode (sim/sharded.hpp) the engine may
+  /// dispatch it beyond the conservative window edge, journal its effects
+  /// and re-execute it after a rollback. The contract a replayable
+  /// callable must honor (DESIGN.md §17):
+  ///  * every model-state write goes through spec_store() (so the journal
+  ///    can undo it) — or touches only engine-managed state (scheduling);
+  ///  * it must not mutate its own captures across invocations, resume a
+  ///    coroutine synchronously, or spawn a root task;
+  ///  * scheduling further events (call_at / schedule_at / cross_post) is
+  ///    fine — the journal cancels speculative children on rollback.
+  /// Outside speculative execution (single engine, conservative sync, or
+  /// sequential phases) the mark is inert: dispatch order, timestamps and
+  /// results are bit-identical to a plain call_at.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+                std::is_invocable_v<std::remove_cvref_t<F>&>>>
+  void call_at_replayable(Time t, F&& fn) {
+    FnSlot* slot = acquire_slot();
+    slot->fn.assign(std::forward<F>(fn));
+    push_fn(t, slot, kFnTag | kReplayTag);
+  }
+  void call_at_replayable(Time t, InlineFn fn) {
+    FnSlot* slot = acquire_slot();
+    slot->fn = std::move(fn);
+    push_fn(t, slot, kFnTag | kReplayTag);
+  }
+
+  /// Journaled model-state write: `slot = v`, recording the previous bytes
+  /// when the write happens inside a speculative dispatch so a rollback
+  /// can restore them. Outside speculation this is a plain assignment —
+  /// models can use it unconditionally at zero steady-state cost.
+  template <typename T>
+  void spec_store(T& slot, T v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "spec_store journals raw bytes");
+    if (spec_active_) [[unlikely]] spec_save(&slot, sizeof(T));
+    slot = v;
+  }
+
+  /// True while the engine is inside a speculative (journaled) dispatch.
+  bool speculating() const { return spec_active_; }
+  /// Uncommitted speculative dispatches currently journaled.
+  std::size_t spec_depth() const { return spec_.entries.size(); }
+  /// Total speculative dispatches journaled over the engine's lifetime.
+  std::uint64_t spec_journaled_total() const { return spec_journaled_total_; }
+
   /// Detach a root task: it starts at the current time and owns itself.
   template <typename T>
   void spawn(Task<T> task) {
+    if (spec_active_) {
+      // A root's coroutine frame cannot be journaled; replayable
+      // callbacks must schedule callbacks, not spawn processes.
+      throw std::logic_error("Engine::spawn inside a speculative dispatch");
+    }
     auto h = task.release();
     auto& p = h.promise();
     p.owner_engine = this;
@@ -158,6 +214,10 @@ class Engine {
   /// coordinator; delivery is deferred to a conservative window edge when
   /// the shards run in parallel. Defined in sharded.cpp.
   void cross_post(Engine& dst, Time t, InlineFn fn);
+  /// cross_post with the delivered callback marked replayable on `dst`
+  /// (see call_at_replayable) — the speculative sync mode may then execute
+  /// it ahead of the conservative edge. Identical to cross_post otherwise.
+  void cross_post_replayable(Engine& dst, Time t, InlineFn fn);
 
   /// Number of detached roots that have not finished yet.
   std::size_t live_roots() const { return roots_.size(); }
@@ -229,7 +289,14 @@ class Engine {
     dispatch(item.payload);
   }
 
+  // Payload tag bits. FnSlot and coroutine frames are both aligned to
+  // alignof(std::max_align_t) (>= 8), so the low bits of the address are
+  // free. kReplayTag only ever appears together with kFnTag — coroutine
+  // resumptions are never replayable (their frame state cannot be
+  // journaled) and act as speculation fences instead.
   static constexpr std::uintptr_t kFnTag = 1;
+  static constexpr std::uintptr_t kReplayTag = 2;
+  static constexpr std::uintptr_t kTagMask = kFnTag | kReplayTag;
 
   /// Pooled parking space for one scheduled callback. Slots live in
   /// fixed-size slabs (stable addresses) and recycle via freelist; retired
@@ -347,6 +414,10 @@ class Engine {
 
   [[gnu::always_inline]] void queue_push(Item item) {
     if (++pending_ > peak_pending_) peak_pending_ = pending_;
+    // Children pushed during a speculative dispatch are recorded so a
+    // rollback can purge them. One predicted-false branch on the hot path;
+    // spec_active_ is only ever true inside the speculative drain loop.
+    if (spec_active_) [[unlikely]] spec_.children.push_back(item.seq);
     if (queue_kind_ == QueueKind::kHeap) {
       heap_.push(item);
     } else {
@@ -423,23 +494,94 @@ class Engine {
     free_slots_ = slot;
   }
 
-  void push_fn(Time t, FnSlot* slot) {
+  void push_fn(Time t, FnSlot* slot, std::uintptr_t tags) {
     queue_push(Item{clamp_to_now(t), next_seq_++,
-                    reinterpret_cast<std::uintptr_t>(slot) | kFnTag});
+                    reinterpret_cast<std::uintptr_t>(slot) | tags});
   }
 
   /// Execute one popped event: resume a coroutine (tag 0) or invoke and
-  /// recycle a parked callback (tag 1).
+  /// recycle a parked callback (kFnTag set; kReplayTag is inert here —
+  /// only the speculative drain loop reads it).
   void dispatch(std::uintptr_t payload) {
     ++events_processed_;
     if (payload & kFnTag) {
-      FnSlot* slot = reinterpret_cast<FnSlot*>(payload & ~kFnTag);
+      FnSlot* slot = reinterpret_cast<FnSlot*>(payload & ~kTagMask);
       slot->fn();
       release_slot(slot);
     } else {
       std::coroutine_handle<>::from_address(reinterpret_cast<void*>(payload))
           .resume();
     }
+  }
+
+  // --- Speculation journal (sim/speculation.cpp, DESIGN.md §17) ---------
+  // One undo record per speculatively dispatched (replayable) event. The
+  // journal is strictly sorted by the engine's (t, seq) dispatch order, so
+  // commits truncate a prefix and rollbacks a suffix. The dispatched
+  // event's FnSlot is NOT released until its entry commits, which is what
+  // makes re-dispatch after a rollback possible (the callable survives
+  // invocation).
+
+  /// One journaled model-state write: `size` old bytes at blob[off].
+  struct SpecSave {
+    void* addr;
+    std::uint32_t size;
+    std::uint32_t off;
+  };
+
+  struct SpecEntry {
+    Item item;             // the dispatched event, original seq and tags
+    Time prev_now;         // clock before the dispatch
+    Time prev_last_event;
+    std::uint64_t prev_events;   // events_processed_ before the dispatch
+    std::uint64_t prev_clamped;
+    std::size_t trace_len;       // tracer record count before the dispatch
+    std::uint64_t trace_dropped;
+    std::uint32_t child_begin, child_end;  // range in children
+    std::uint32_t save_begin, save_end;    // range in saves
+  };
+
+  struct SpecJournal {
+    std::vector<SpecEntry> entries;
+    std::vector<std::uint64_t> children;  // seqs pushed during spec dispatches
+    std::vector<SpecSave> saves;
+    std::vector<std::byte> blob;          // saved old bytes, densely packed
+  };
+
+  /// Record the old bytes of a model-state slot about to be overwritten
+  /// inside a speculative dispatch (spec_store's slow path).
+  void spec_save(void* addr, std::size_t size) {
+    const std::uint32_t off = static_cast<std::uint32_t>(spec_.blob.size());
+    const std::byte* src = static_cast<const std::byte*>(addr);
+    spec_.blob.insert(spec_.blob.end(), src, src + size);
+    spec_.saves.push_back(
+        SpecSave{addr, static_cast<std::uint32_t>(size), off});
+  }
+
+  /// Drain loop of the speculative sync mode: events with t < `safe`
+  /// dispatch normally (they are conservatively proven final); replayable
+  /// events with safe <= t < `horizon` dispatch speculatively (journaled);
+  /// a non-replayable event beyond `safe` is a fence — the loop stops
+  /// before it. Returns true when it stopped at a fence.
+  bool run_speculative(Time safe, Time horizon);
+  template <typename Q>
+  bool run_speculative_drain(Q& q, Time safe, Time horizon);
+  /// Retire every journal entry with t <= `through` (their slots recycle).
+  void spec_commit(Time through);
+  /// Undo every journal entry with t > `keep_through`, restoring model
+  /// bytes, counters, the tracer and the event queue (undone events are
+  /// re-queued under their original seqs; their speculative children are
+  /// purged). Returns the number of undone dispatches.
+  std::uint64_t spec_rollback(Time keep_through);
+  /// Remove every queued item whose seq is in `dead` (releasing callback
+  /// slots); rollback's child-cancellation pass.
+  void spec_purge(const std::unordered_set<std::uint64_t>& dead);
+  /// Latest uncommitted speculative dispatch time (0 when the journal is
+  /// empty). The coordinator's rollback test reads this between barriers.
+  /// Note there is deliberately no "front" accessor: the journal does NOT
+  /// bound the coordinator's validation floors (speculation.cpp header).
+  Time spec_back_time() const {
+    return spec_.entries.empty() ? 0 : spec_.entries.back().item.t;
   }
 
   // 512 slots * sizeof(FnSlot)==128 keeps every slab at 64 KiB, safely
@@ -468,6 +610,9 @@ class Engine {
   std::uint64_t next_root_id_ = 1;
   std::uint64_t events_processed_ = 0;
   std::uint64_t clamped_events_ = 0;
+  SpecJournal spec_;
+  bool spec_active_ = false;
+  std::uint64_t spec_journaled_total_ = 0;
   trace::Tracer* tracer_ = nullptr;
   ShardedEngine* coordinator_ = nullptr;
   std::uint32_t shard_index_ = 0;

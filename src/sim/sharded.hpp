@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -51,9 +52,19 @@
 
 namespace cord::sim {
 
+/// Synchronization protocol of a parallel sharded run (DESIGN.md §12/§17).
+enum class SyncMode : std::uint8_t {
+  kConservative,  ///< lookahead windows only — never executes ahead
+  kSpeculative,   ///< Time-Warp style: run ahead, journal, roll back
+};
+
+/// Parse "conservative" / "speculative" (throws std::invalid_argument).
+SyncMode parse_sync_mode(std::string_view name);
+std::string_view sync_mode_name(SyncMode mode);
+
 /// Per-run statistics of a sharded execution (reset by each run call).
 struct ShardStats {
-  std::uint64_t windows = 0;        ///< conservative windows executed
+  std::uint64_t windows = 0;        ///< sync windows (rounds) executed
   std::uint64_t messages = 0;       ///< cross-shard messages delivered
   std::uint64_t sequential_events = 0;  ///< events run in merged mode
   /// Wall-clock nanoseconds each shard spent blocked on the window-edge
@@ -62,6 +73,23 @@ struct ShardStats {
   /// Window-edge barriers each shard blocked on (the wait count behind
   /// barrier_wait_ns; feeds the critical-path report's sync section).
   std::vector<std::uint64_t> barrier_waits;
+  /// True when the run used the speculative protocol (> 1 shard with
+  /// sync = kSpeculative); the counters below stay zero otherwise.
+  bool speculative = false;
+  /// Rollbacks applied (one per shard per round that had to rewind).
+  std::uint64_t rollbacks = 0;
+  /// Speculatively dispatched events undone by rollbacks (each is
+  /// re-queued and re-executed later).
+  std::uint64_t rolled_back_events = 0;
+  /// Speculative dispatches journaled (events run ahead of the
+  /// conservative edge; committed + rolled back).
+  std::uint64_t journaled_effects = 0;
+  /// Cross-shard messages cancelled because their posting dispatch was
+  /// rolled back (the pool-held analogue of Time-Warp anti-messages).
+  std::uint64_t cancelled_messages = 0;
+  /// Largest uncommitted journal length observed on any shard at a
+  /// resolution point (how far ahead speculation actually ran).
+  std::uint64_t max_speculation_depth = 0;
 };
 
 class ShardedEngine {
@@ -109,6 +137,20 @@ class ShardedEngine {
   /// so callers only need to describe direct pair bounds.
   void set_lookahead(const std::vector<Time>& matrix);
 
+  /// Select the parallel synchronization protocol. kConservative (the
+  /// default) is the exact windowed protocol above. kSpeculative lets each
+  /// shard run up to `depth` lookahead windows past its conservative edge,
+  /// journaling replayable dispatches (Engine::call_at_replayable) and
+  /// rolling them back when a cross-shard arrival lands in their past —
+  /// Time-Warp with a bounded throttle (DESIGN.md §17). Non-replayable
+  /// events act as fences, so models that never opt in execute exactly the
+  /// conservative schedule. `depth` >= 1; depth 1 speculates zero windows
+  /// ahead (the conservative edge itself).
+  void set_sync(SyncMode mode, std::uint32_t depth = kDefaultSpeculationDepth);
+  SyncMode sync() const { return sync_; }
+  std::uint32_t speculation_depth() const { return spec_depth_; }
+  static constexpr std::uint32_t kDefaultSpeculationDepth = 8;
+
   /// Minimum off-diagonal lookahead (kUnboundedLookahead when no pair
   /// interacts) — the uniform-protocol view of the matrix.
   Time lookahead() const { return min_lookahead_; }
@@ -124,8 +166,10 @@ class ShardedEngine {
   /// mailbox and throws std::logic_error if `t` violates the declared
   /// lookahead (a torn window: the model generated an effect earlier than
   /// the sync protocol can deliver it). Outside parallel execution it is
-  /// delivered immediately.
-  void post(Engine& src, Engine& dst, Time t, InlineFn fn);
+  /// delivered immediately. `replayable` marks the delivered callback as
+  /// replayable on the destination (see Engine::call_at_replayable).
+  void post(Engine& src, Engine& dst, Time t, InlineFn fn,
+            bool replayable = false);
 
   /// Merged sequential execution: one thread interleaves every engine in
   /// global (t, shard) order with a single shared notion of "now" (each
@@ -162,14 +206,34 @@ class ShardedEngine {
   }
 
  private:
+  friend class Engine;  // speculative protocol helpers in speculation.cpp
+
   struct Msg {
-    Time t;
+    Time t;            ///< delivery time on the destination
+    Time post_t;       ///< source clock when the message was posted
     InlineFn fn;
+    bool replayable;
+  };
+
+  /// A cross-shard message held by the coordinator until its posting
+  /// dispatch commits (speculative mode only). Holding — instead of
+  /// delivering tentatively — is what makes anti-messages unnecessary: a
+  /// message that reached a destination queue can never be invalidated,
+  /// so rollback cancellation is a pool-local erase (DESIGN.md §17).
+  struct PoolMsg {
+    Time t;
+    Time post_t;
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint64_t order;  ///< per-(src, dst) posting order, across rounds
+    InlineFn fn;
+    bool replayable;
   };
 
   enum class Mode { kIdle, kSequential, kParallel };
 
   Time run_parallel();
+  Time run_speculative_parallel();  // speculation.cpp
   void drain_mailboxes();
   Time min_next_event() const;
   /// Min-plus transitive closure of lookahead_, then refresh the derived
@@ -192,6 +256,17 @@ class ShardedEngine {
   /// coordinator between barriers. Engine::kNoEvent means "unbounded: run
   /// to queue exhaustion".
   std::vector<Time> window_end_;
+  SyncMode sync_ = SyncMode::kConservative;
+  std::uint32_t spec_depth_ = kDefaultSpeculationDepth;
+  /// Speculative-round worker parameters (coordinator-written between
+  /// barriers): spec_safe_[k] bounds unjournaled execution, spec_horizon_
+  /// bounds speculation (safe + (depth - 1) windows).
+  std::vector<Time> spec_safe_;
+  std::vector<Time> spec_horizon_;
+  /// Held cross-shard messages (speculative mode; coordinator-only).
+  std::vector<PoolMsg> pool_;
+  /// Per-(src * n + dst) running posting-order counters for pool_ entries.
+  std::vector<std::uint64_t> post_order_;
   bool stop_ = false;
   std::exception_ptr error_;
   ShardStats stats_;

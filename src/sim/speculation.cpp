@@ -1,0 +1,531 @@
+// Speculative (Time-Warp style) sharded synchronization — DESIGN.md §17.
+//
+// The conservative protocol in sharded.cpp never lets a shard execute an
+// event its peers could still invalidate, which means tight-lookahead
+// topologies pay a barrier round per lookahead window and the barriers
+// dominate wall-clock. This file implements the opt-in optimistic mode:
+// shards run ahead of the conservative edge, journaling every *replayable*
+// dispatch (Engine::call_at_replayable) so it can be undone, and the
+// coordinator validates the speculation at each barrier.
+//
+// The design deviates from textbook Time-Warp in three load-bearing ways:
+//
+//  * Replayable-only speculation. Coroutine resumptions (and unmarked
+//    callbacks) cannot be checkpointed — a coroutine frame is opaque — so
+//    they act as *fences*: a shard stops speculating when the next event
+//    beyond the conservative edge is not replayable. Models that never
+//    mark anything (the whole NIC stack) therefore execute the exact
+//    conservative schedule under this mode, which is what keeps every
+//    existing golden bit-identical.
+//
+//  * A pending-message pool instead of anti-messages. Cross-shard
+//    messages are held by the coordinator until their *posting* dispatch
+//    commits; a rollback on the source simply erases its uncommitted pool
+//    entries. Because nothing tentative ever reaches a destination queue,
+//    no anti-message can chase a message, and cascade cancellation is a
+//    coordinator-local erase rather than an inter-shard protocol.
+//
+//  * Barrier-synchronous GVT. The commit floor (the Time-Warp GVT) is
+//    computed exactly at each barrier from fully parked state, so there
+//    is no asynchronous GVT estimation error to be conservative against.
+//    Per shard j, floor_j = min(earliest queued event, earliest held pool
+//    message to j) bounds j's earliest possible FUTURE dispatch — note
+//    that j's own uncommitted journal does NOT hold its floor down: those
+//    dispatches already ran, and a re-execution after a rollback happens
+//    at times bounded by the incoming message that triggered it, which
+//    the closed lookahead matrix already covers via relays. Then
+//
+//      commit_k = min( min over held messages m to k of m.t,
+//                      min_{j != k} floor_j + D[j][k] )
+//
+//    — the first term is what makes dropping the journal from the floors
+//    sound: a deeply speculative post can sit undeliverable in the pool
+//    for several rounds, and it is bounded directly rather than through
+//    its source. This is the load-bearing difference from the
+//    conservative edge: floors advance by a full speculation horizon per
+//    round instead of one lookahead window, which is where the barrier-
+//    round reduction (and the whole speedup) comes from.
+//
+// Soundness invariants (proved in DESIGN.md §17, relied on throughout):
+//  I1  A shard's journal is sorted by dispatch (t, seq); commits truncate
+//      a prefix, rollbacks a suffix.
+//  I2  commit_k <= delivery time of every message that can still reach k:
+//      held messages by the direct pool term, future posts by their
+//      poster's floor plus the closed lookahead (re-executions after a
+//      rollback are bounded by the rollback's trigger, i.e. by the same
+//      terms one relay deeper — the min-plus closure absorbs them).
+//      Journal entries all predate their shard's queue front, so
+//      arrivals bred by a shard's own future posts cannot reach its own
+//      committed prefix either.
+//  I3  A message delivered this round cancels no *deliverable* message
+//      (cancelled posts have post_t > the trigger >= commit of the
+//      rolling-back shard, deliverable ones <=), so one resolution pass
+//      suffices — no fixpoint iteration.
+//  I4  The globally minimal floor item always commits, delivers or
+//      executes within one round (liveness): if it is a queued event it
+//      lies below every safe edge; if it is a held message, every term of
+//      its source's commit is >= it, so it is deliverable.
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sharded.hpp"
+#include "trace/trace.hpp"  // inline-only use: rewind on rollback
+
+namespace cord::sim {
+
+// ---------------------------------------------------------------------------
+// Engine side: speculative drain, commit, rollback.
+// ---------------------------------------------------------------------------
+
+template <typename Q>
+bool Engine::run_speculative_drain(Q& q, Time safe, Time horizon) {
+  while (pending_ != 0) {
+    const Item& head = q.top();
+    if (head.t >= horizon) return false;  // parked until the next round
+    if (head.t < safe) {
+      // Conservatively proven final: dispatch exactly like run_until.
+      const Item item = queue_pop();
+      now_ = item.t;
+      dispatch(item.payload);
+      last_event_ = now_;
+      continue;
+    }
+    if ((head.payload & kReplayTag) == 0) return true;  // speculation fence
+    // Speculative dispatch: checkpoint, invoke without recycling the slot
+    // (the callable must survive for re-execution), journal the effects.
+    const Item item = queue_pop();
+    SpecEntry e;
+    e.item = item;
+    e.prev_now = now_;
+    e.prev_last_event = last_event_;
+    e.prev_events = events_processed_;
+    e.prev_clamped = clamped_events_;
+    e.trace_len = tracer_ != nullptr ? tracer_->size() : 0;
+    e.trace_dropped = tracer_ != nullptr ? tracer_->dropped() : 0;
+    e.child_begin = static_cast<std::uint32_t>(spec_.children.size());
+    e.save_begin = static_cast<std::uint32_t>(spec_.saves.size());
+    e.child_end = e.child_begin;
+    e.save_end = e.save_begin;
+    // Entry is journaled before the call so an exception mid-dispatch
+    // still leaves the slot reachable for cleanup.
+    spec_.entries.push_back(e);
+    ++spec_journaled_total_;
+    now_ = item.t;
+    ++events_processed_;
+    FnSlot* slot = reinterpret_cast<FnSlot*>(item.payload & ~kTagMask);
+    spec_active_ = true;
+    try {
+      slot->fn();
+    } catch (...) {
+      spec_active_ = false;
+      throw;
+    }
+    spec_active_ = false;
+    SpecEntry& back = spec_.entries.back();
+    back.child_end = static_cast<std::uint32_t>(spec_.children.size());
+    back.save_end = static_cast<std::uint32_t>(spec_.saves.size());
+    last_event_ = now_;
+  }
+  return false;
+}
+
+bool Engine::run_speculative(Time safe, Time horizon) {
+  if (pending_ == 0) return false;
+  // Unlike the conservative worker, the clock is NOT parked at the window
+  // edge afterwards: a rollback must be able to rewind now_ below the
+  // edge, and resolution applies rollbacks before deliveries, so arrivals
+  // never clamp (DESIGN.md §17).
+  return queue_kind_ == QueueKind::kHeap
+             ? run_speculative_drain(heap_, safe, horizon)
+             : run_speculative_drain(cal_, safe, horizon);
+}
+
+void Engine::spec_commit(Time through) {
+  auto& es = spec_.entries;
+  std::size_t idx = 0;
+  while (idx < es.size() && es[idx].item.t <= through) ++idx;
+  if (idx == 0) return;
+  // Committed dispatches retire for real: their slots recycle now.
+  for (std::size_t i = 0; i < idx; ++i) {
+    release_slot(reinterpret_cast<FnSlot*>(es[i].item.payload & ~kTagMask));
+  }
+  const std::uint32_t child_base = es[idx - 1].child_end;
+  const std::uint32_t save_base = es[idx - 1].save_end;
+  const std::uint32_t blob_base =
+      save_base < spec_.saves.size()
+          ? spec_.saves[save_base].off
+          : static_cast<std::uint32_t>(spec_.blob.size());
+  es.erase(es.begin(), es.begin() + static_cast<std::ptrdiff_t>(idx));
+  spec_.children.erase(spec_.children.begin(),
+                       spec_.children.begin() + child_base);
+  spec_.saves.erase(spec_.saves.begin(), spec_.saves.begin() + save_base);
+  spec_.blob.erase(spec_.blob.begin(), spec_.blob.begin() + blob_base);
+  for (SpecEntry& e : es) {
+    e.child_begin -= child_base;
+    e.child_end -= child_base;
+    e.save_begin -= save_base;
+    e.save_end -= save_base;
+  }
+  for (SpecSave& s : spec_.saves) s.off -= blob_base;
+}
+
+std::uint64_t Engine::spec_rollback(Time keep_through) {
+  auto& es = spec_.entries;
+  std::size_t idx = es.size();
+  while (idx > 0 && es[idx - 1].item.t > keep_through) --idx;
+  if (idx == es.size()) return 0;
+  // Seqs pushed by the dispatches about to be undone: they must vanish
+  // from the queue (their parent re-creates them on re-execution).
+  std::unordered_set<std::uint64_t> dead;
+  for (std::size_t i = idx; i < es.size(); ++i) {
+    for (std::uint32_t c = es[i].child_begin; c < es[i].child_end; ++c) {
+      dead.insert(spec_.children[c]);
+    }
+  }
+  // Undo in reverse dispatch order. Each step restores the journaled
+  // model bytes, rewinds the tracer and the engine counters/clock to
+  // their pre-dispatch checkpoint, and re-queues the event itself under
+  // its ORIGINAL (t, seq) — re-execution then reproduces the timestamps
+  // bit-for-bit because event resolution is a pure function of sim state.
+  for (std::size_t i = es.size(); i-- > idx;) {
+    const SpecEntry& e = es[i];
+    for (std::uint32_t s = e.save_end; s-- > e.save_begin;) {
+      const SpecSave& sv = spec_.saves[s];
+      std::memcpy(sv.addr, spec_.blob.data() + sv.off, sv.size);
+    }
+    if (tracer_ != nullptr) tracer_->truncate(e.trace_len, e.trace_dropped);
+    now_ = e.prev_now;
+    last_event_ = e.prev_last_event;
+    events_processed_ = e.prev_events;
+    clamped_events_ = e.prev_clamped;
+    queue_push(e.item);
+  }
+  const std::uint64_t undone = es.size() - idx;
+  const std::uint32_t child_base = idx == 0 ? 0 : es[idx - 1].child_end;
+  const std::uint32_t save_base = idx == 0 ? 0 : es[idx - 1].save_end;
+  const std::uint32_t blob_base =
+      save_base < spec_.saves.size()
+          ? spec_.saves[save_base].off
+          : static_cast<std::uint32_t>(spec_.blob.size());
+  es.resize(idx);
+  spec_.children.resize(child_base);
+  spec_.saves.resize(save_base);
+  spec_.blob.resize(blob_base);
+  // Purge AFTER the re-pushes: an undone entry that is itself the child
+  // of another undone dispatch was just re-queued and must be removed
+  // again (its slot recycles; the parent re-creates it).
+  if (!dead.empty()) spec_purge(dead);
+  return undone;
+}
+
+void Engine::spec_purge(const std::unordered_set<std::uint64_t>& dead) {
+  std::vector<Item> keep;
+  keep.reserve(pending_);
+  while (pending_ != 0) {
+    const Item item = queue_pop();
+    if (dead.count(item.seq) != 0) {
+      if (item.payload & kFnTag) {
+        release_slot(reinterpret_cast<FnSlot*>(item.payload & ~kTagMask));
+      }
+      // Coroutine resumptions are dropped without destroying the frame:
+      // the coroutine stays suspended and its (re-executed) scheduler
+      // will re-push the resumption.
+      continue;
+    }
+    keep.push_back(item);
+  }
+  for (const Item& item : keep) queue_push(item);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side: the optimistic window protocol.
+// ---------------------------------------------------------------------------
+
+Time ShardedEngine::run_speculative_parallel() {
+  const std::size_t n = shard_count();
+  mode_ = Mode::kParallel;
+  stop_ = false;
+  error_ = nullptr;
+  stats_.speculative = true;
+  std::fill(post_order_.begin(), post_order_.end(), 0);
+  pool_.clear();
+  std::vector<std::uint64_t> journaled0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    journaled0[i] = engines_[i]->spec_journaled_total();
+  }
+  Time base = 0;
+  for (const auto& e : engines_) base = std::max(base, e->now_);
+
+  // Same two-barrier scaffolding as the conservative run: `start`
+  // publishes spec_safe_/spec_horizon_ (and stop_) to the workers,
+  // `finish` publishes queue/journal/mailbox state back. Everything the
+  // resolution below touches is parked between finish and start.
+  std::barrier<> start(static_cast<std::ptrdiff_t>(n) + 1);
+  std::barrier<> finish(static_cast<std::ptrdiff_t>(n) + 1);
+  std::vector<std::exception_ptr> worker_error(n);
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.emplace_back([this, i, &start, &finish, &worker_error] {
+      Engine& e = *engines_[i];
+      for (;;) {
+        start.arrive_and_wait();
+        if (stop_) return;
+        try {
+          e.run_speculative(spec_safe_[i], spec_horizon_[i]);
+        } catch (...) {
+          worker_error[i] = std::current_exception();
+        }
+        const auto idle0 = std::chrono::steady_clock::now();
+        finish.arrive_and_wait();
+        stats_.barrier_wait_ns[i] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - idle0)
+                .count());
+        stats_.barrier_waits[i]++;
+      }
+    });
+  }
+
+  // floor[j]: the earliest virtual time at which shard j can still
+  // *dispatch* — its earliest queued event or the earliest pool message
+  // pending delivery to it. Deliberately NOT j's uncommitted journal:
+  // those dispatches already ran, and holding the floor at them would pin
+  // commit advancement to one lookahead window per round, i.e. exactly
+  // conservative pacing (see the header — this is where the speedup
+  // lives). qnext[j] is the queue term alone, for the liveness self-term.
+  // Floors are monotone across rounds; every commit decision derives from
+  // them plus the direct held-message bound pool_min[k].
+  std::vector<Time> floor(n);
+  std::vector<Time> qnext(n);
+  std::vector<Time> pool_min(n);
+  const auto compute_floors = [&] {
+    for (std::size_t j = 0; j < n; ++j) {
+      qnext[j] = engines_[j]->next_event_time();
+      pool_min[j] = Engine::kNoEvent;
+    }
+    for (const PoolMsg& m : pool_) {
+      pool_min[m.dst] = std::min(pool_min[m.dst], m.t);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      floor[j] = std::min(qnext[j], pool_min[j]);
+    }
+  };
+
+  std::vector<Time> commit(n);
+  std::vector<Time> m_min(n);
+  for (;;) {
+    // ---- Resolution (coordinator-only; all shard state parked) --------
+    // (1) Sweep this round's mailboxes into the pool, stamping each
+    // message with its per-(src, dst) posting order — the cross-round
+    // extension of the conservative (t, src, position) delivery order.
+    for (std::size_t src = 0; src < n; ++src) {
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        auto& box = mail_[src * n + dst];
+        for (Msg& m : box) {
+          pool_.push_back(PoolMsg{m.t, m.post_t, static_cast<std::uint32_t>(src),
+                                  static_cast<std::uint32_t>(dst),
+                                  post_order_[src * n + dst]++,
+                                  std::move(m.fn), m.replayable});
+        }
+        box.clear();
+      }
+    }
+    // (2) Validation floors and the exhausted-time-domain guard (same
+    // rationale as the conservative run: times at or past
+    // kUnboundedLookahead are indistinguishable from the sentinel).
+    compute_floors();
+    Time max_finite = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Time t = engines_[j]->next_event_time();
+      if (t != Engine::kNoEvent) max_finite = std::max(max_finite, t);
+      max_finite = std::max(max_finite, engines_[j]->spec_back_time());
+      stats_.max_speculation_depth = std::max(
+          stats_.max_speculation_depth,
+          static_cast<std::uint64_t>(engines_[j]->spec_depth()));
+    }
+    for (const PoolMsg& m : pool_) max_finite = std::max(max_finite, m.t);
+    if (max_finite >= kUnboundedLookahead && !error_) {
+      error_ = std::make_exception_ptr(std::logic_error(
+          "ShardedEngine: event time " + std::to_string(max_finite) +
+          " ps has reached kUnboundedLookahead (kNoEvent / 2) — the "
+          "speculative-window arithmetic cannot distinguish such times "
+          "from the unbounded sentinel; the simulated time domain is "
+          "exhausted"));
+    }
+    // (3) Commit horizons: nothing dated <= commit[k] can still be
+    // invalidated. Held messages to k bound it directly (they may deliver
+    // below any peer-derived edge once their posting dispatch commits);
+    // everything else that could reach k originates at or after some
+    // peer's floor and travels at least the closed lookahead. (No
+    // liveness self-term here — arrivals bred by k's own future posts
+    // land strictly above k's queue front, hence above its whole journal;
+    // commits need only be correct, not open a window. Invariant I2.)
+    for (std::size_t k = 0; k < n; ++k) {
+      Time c = pool_min[k];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == k || floor[j] == Engine::kNoEvent) continue;
+        const Time la = lookahead_[j * n + k];
+        if (la >= kUnboundedLookahead) continue;
+        c = std::min(c, sat_add(floor[j], la));
+      }
+      commit[k] = c;
+    }
+    // (4) Deliverable set: a pool message may be delivered once its
+    // posting dispatch is final (post_t <= commit[src]). m_min[k] is the
+    // earliest delivery into k this round — the rollback target.
+    std::fill(m_min.begin(), m_min.end(), Engine::kNoEvent);
+    for (const PoolMsg& m : pool_) {
+      if (m.post_t <= commit[m.src]) {
+        m_min[m.dst] = std::min(m_min[m.dst], m.t);
+      }
+    }
+    // (5) Rollbacks + cancellation. A shard rolls back iff it
+    // speculatively dispatched past an incoming delivery (t > m keeps the
+    // tie: the arrival gets a fresher seq and sorts after). Undone
+    // dispatches' cross-shard posts are exactly the source's pool entries
+    // with post_t > m_min (committed posts satisfy post_t <= commit[k] <=
+    // m_min[k]); erasing them is the whole anti-message story (I3: none
+    // of them was deliverable, so the deliverable set stands).
+    for (std::size_t k = 0; k < n; ++k) {
+      if (m_min[k] == Engine::kNoEvent) continue;
+      if (engines_[k]->spec_back_time() <= m_min[k]) continue;
+      const std::uint64_t undone = engines_[k]->spec_rollback(m_min[k]);
+      ++stats_.rollbacks;
+      stats_.rolled_back_events += undone;
+      const auto cancelled = [&](const PoolMsg& m) {
+        return m.src == k && m.post_t > m_min[k];
+      };
+      const auto it = std::remove_if(pool_.begin(), pool_.end(), cancelled);
+      stats_.cancelled_messages +=
+          static_cast<std::uint64_t>(pool_.end() - it);
+      pool_.erase(it, pool_.end());
+    }
+    // (6) Deliveries, after ALL rollbacks (so no arrival ever clamps),
+    // per destination in (t, src, order) — a pure function of sim state.
+    {
+      struct Ref {
+        Time t;
+        std::uint32_t src;
+        std::uint64_t order;
+        std::size_t pos;
+      };
+      std::vector<Ref> deliver;
+      for (std::size_t p = 0; p < pool_.size(); ++p) {
+        const PoolMsg& m = pool_[p];
+        if (m.post_t <= commit[m.src]) {
+          deliver.push_back(Ref{m.t, m.src, m.order, p});
+        }
+      }
+      std::sort(deliver.begin(), deliver.end(),
+                [&](const Ref& a, const Ref& b) {
+                  const std::uint32_t da = pool_[a.pos].dst;
+                  const std::uint32_t db = pool_[b.pos].dst;
+                  if (da != db) return da < db;
+                  if (a.t != b.t) return a.t < b.t;
+                  if (a.src != b.src) return a.src < b.src;
+                  return a.order < b.order;
+                });
+      for (const Ref& r : deliver) {
+        PoolMsg& m = pool_[r.pos];
+        Engine& d = *engines_[m.dst];
+        if (m.replayable) {
+          d.call_at_replayable(m.t, std::move(m.fn));
+        } else {
+          d.call_at(m.t, std::move(m.fn));
+        }
+        m.dst = UINT32_MAX;  // consumed; compacted below
+      }
+      stats_.messages += deliver.size();
+      if (!deliver.empty()) {
+        pool_.erase(std::remove_if(
+                        pool_.begin(), pool_.end(),
+                        [](const PoolMsg& m) { return m.dst == UINT32_MAX; }),
+                    pool_.end());
+      }
+    }
+    // (7) Retire validated speculation (journal prefixes up to commit).
+    for (std::size_t k = 0; k < n; ++k) engines_[k]->spec_commit(commit[k]);
+    // (8) Termination: with every queue and the pool empty nothing can
+    // ever create another event, so outstanding journal entries are
+    // trivially valid — commit them and stop.
+    bool any_pending = !pool_.empty();
+    for (const auto& e : engines_) any_pending |= e->pending_events() != 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (worker_error[i] && !error_) error_ = worker_error[i];
+    }
+    if (!any_pending || error_) {
+      if (!error_) {
+        for (auto& e : engines_) e->spec_commit(Engine::kNoEvent);
+      }
+      stop_ = true;
+      start.arrive_and_wait();  // release workers into their exit path
+      break;
+    }
+    // ---- Next round's windows -----------------------------------------
+    // spec_safe_[k] bounds the earliest possible arrival into k during
+    // the round: held messages directly, peers' future posts via floors +
+    // closed lookahead, and replies to k's own in-round posts via the
+    // self-return liveness term over its QUEUE front (in-round dispatches
+    // only come from the queue). Events below it are final the moment
+    // they run. The horizon adds (depth - 1) extra minimum-lookahead
+    // windows of journaled run-ahead; depth 1 degenerates to conservative
+    // pacing.
+    compute_floors();
+    for (std::size_t k = 0; k < n; ++k) {
+      Time safe = pool_min[k];
+      if (qnext[k] != Engine::kNoEvent && out_min_[k] < kUnboundedLookahead) {
+        safe = std::min(safe, sat_add(qnext[k], out_min_[k]));
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == k || floor[j] == Engine::kNoEvent) continue;
+        const Time la = lookahead_[j * n + k];
+        if (la >= kUnboundedLookahead) continue;
+        safe = std::min(safe, sat_add(floor[j], la));
+      }
+      spec_safe_[k] = safe;
+      Time horizon = safe;
+      if (safe != Engine::kNoEvent && spec_depth_ > 1 &&
+          min_lookahead_ < kUnboundedLookahead) {
+        const std::uint64_t mult = spec_depth_ - 1;
+        const Time per = min_lookahead_;
+        const Time extra =
+            mult > static_cast<std::uint64_t>(kUnboundedLookahead / per)
+                ? kUnboundedLookahead
+                : static_cast<Time>(mult) * per;
+        horizon = sat_add(safe, extra);
+      }
+      spec_horizon_[k] = horizon;
+    }
+    ++stats_.windows;
+    start.arrive_and_wait();
+    finish.arrive_and_wait();
+  }
+  for (auto& w : workers) w.join();
+  mode_ = Mode::kIdle;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    stats_.journaled_effects +=
+        engines_[i]->spec_journaled_total() - journaled0[i];
+  }
+  if (error_) std::rethrow_exception(error_);
+  // Same final-time contract as the conservative run: report the latest
+  // executed event and align every clock to it (the speculative workers
+  // never park clocks, but idle shards may still lag behind).
+  Time m = base;
+  for (const auto& e : engines_) m = std::max(m, e->last_event_);
+  for (auto& e : engines_) e->now_ = m;
+  return m;
+}
+
+}  // namespace cord::sim

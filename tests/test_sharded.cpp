@@ -251,6 +251,117 @@ TEST(ShardedGolden, CanonicalTraceIsShardInvariant) {
                            t1.size() * sizeof(trace::Record)));
 }
 
+// --- Determinism: the speculative sync mode against the same goldens --
+//
+// The NIC stack never marks a callback replayable, so under
+// sync=speculative every event beyond the conservative edge is a fence:
+// the optimistic mode must execute the exact conservative schedule and
+// reproduce every single-engine golden bit-for-bit, with zero dispatches
+// journaled. This is the safety half of the Time-Warp work; the speedup
+// half lives in bench_shard_scaling's replayable workload.
+
+TEST(SpeculativeGolden, SendLatencyMatchesSingleEngineGoldens) {
+  const auto cfg = core::system_l();
+  for (std::size_t shards : {2u, 4u}) {
+    for (sim::QueueKind queue : {sim::QueueKind::kHeap, sim::QueueKind::kCalendar}) {
+      perftest::Params p;
+      p.op = perftest::TestOp::kSend;
+      p.msg_size = 64;
+      p.iterations = 50;
+      p.warmup = 10;
+      p.shards = shards;
+      p.queue = queue;
+      p.sync = sim::SyncMode::kSpeculative;
+      const auto r = perftest::run_latency(cfg, p);
+      EXPECT_EQ(r.avg_us, 0x1.3ae147ae147aep+0) << "shards=" << shards;
+      EXPECT_EQ(r.p50_us, 0x1.3ae147ae147aep+0) << "shards=" << shards;
+      EXPECT_EQ(r.p99_us, 0x1.3ae147ae147aep+0) << "shards=" << shards;
+      EXPECT_EQ(r.clamped_events, 0u);
+      EXPECT_EQ(r.shard_journaled, 0u);  // all-fence workload
+      EXPECT_EQ(r.shard_rollbacks, 0u);
+      EXPECT_GT(r.shard_windows, 0u);
+      EXPECT_GT(r.shard_messages, 0u);
+    }
+  }
+}
+
+TEST(SpeculativeGolden, LargeAndInterruptLatencyMatchGoldens) {
+  const auto cfg = core::system_l();
+  {
+    perftest::Params p;
+    p.op = perftest::TestOp::kSend;
+    p.msg_size = 4096;
+    p.iterations = 50;
+    p.warmup = 10;
+    p.shards = 2;
+    p.sync = sim::SyncMode::kSpeculative;
+    const auto r = perftest::run_latency(cfg, p);
+    EXPECT_EQ(r.avg_us, 0x1.2ae147ae147aep+1);
+  }
+  {
+    perftest::Params p;
+    p.op = perftest::TestOp::kSend;
+    p.msg_size = 64;
+    p.iterations = 50;
+    p.warmup = 10;
+    p.knobs.interrupt_wait = true;
+    p.shards = 2;
+    p.sync = sim::SyncMode::kSpeculative;
+    const auto r = perftest::run_latency(cfg, p);
+    EXPECT_EQ(r.avg_us, 0x1.74e1719f7f8cbp+2);
+  }
+}
+
+TEST(SpeculativeGolden, BandwidthMatchesSingleEngineGolden) {
+  const auto cfg = core::system_l();
+  for (std::size_t shards : {2u, 4u}) {
+    perftest::Params p;
+    p.op = perftest::TestOp::kSend;
+    p.msg_size = 65536;
+    p.iterations = 200;
+    p.shards = shards;
+    p.sync = sim::SyncMode::kSpeculative;
+    const auto r = perftest::run_bandwidth(cfg, p);
+    EXPECT_EQ(r.gbps, 0x1.899e6c9441779p+6) << "shards=" << shards;
+    EXPECT_EQ(r.messages, 200u);
+    EXPECT_EQ(r.elapsed, 1'065'575'000) << "shards=" << shards;
+    EXPECT_EQ(r.shard_journaled, 0u);
+  }
+}
+
+TEST(SpeculativeGolden, CanonicalTraceIsSyncModeInvariant) {
+  const auto cfg = core::system_l();
+  auto capture = [&](std::size_t shards, sim::SyncMode sync,
+                     sim::QueueKind queue) {
+    perftest::Params p;
+    p.op = perftest::TestOp::kSend;
+    p.msg_size = 256;
+    p.iterations = 20;
+    p.warmup = 5;
+    p.shards = shards;
+    p.sync = sync;
+    p.queue = queue;
+    p.capture_trace = true;
+    auto r = perftest::run_latency(cfg, p);
+    EXPECT_EQ(r.trace_dropped, 0u);
+    return trace::canonical_trace(std::move(r.trace));
+  };
+  const auto single =
+      capture(1, sim::SyncMode::kConservative, sim::QueueKind::kHeap);
+  ASSERT_FALSE(single.empty());
+  for (std::size_t shards : {2u, 4u}) {
+    for (sim::QueueKind queue :
+         {sim::QueueKind::kHeap, sim::QueueKind::kCalendar}) {
+      const auto spec = capture(shards, sim::SyncMode::kSpeculative, queue);
+      ASSERT_EQ(single.size(), spec.size())
+          << "shards=" << shards << " queue=" << static_cast<int>(queue);
+      EXPECT_EQ(0, std::memcmp(single.data(), spec.data(),
+                               single.size() * sizeof(trace::Record)))
+          << "shards=" << shards << " queue=" << static_cast<int>(queue);
+    }
+  }
+}
+
 // --- Satellite: NIC doorbell/completion batching ----------------------
 
 struct TwoNode {

@@ -1,0 +1,411 @@
+// Speculative (Time-Warp) sharded synchronization — sim-level tests.
+//
+// The differential model below is built so that THE SAME final state is
+// reachable under any legal execution order: every event's behavior is a
+// pure function of (seed, shard, step) — never of model state — and all
+// state writes are commutative accumulations through Engine::spec_store.
+// That lets one model run under (a) a single engine, (b) conservative
+// sharded sync and (c) speculative sharded sync, and demand bit-equal
+// final accumulators, final times, event counts and zero clamps across
+// all three, for any topology/seed — while (c) internally commits,
+// rolls back and re-executes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "sim/sharded.hpp"
+#include "sim/units.hpp"
+#include "trace/causal/causal.hpp"
+
+namespace {
+
+using cord::sim::Engine;
+using cord::sim::InlineFn;
+using cord::sim::QueueKind;
+using cord::sim::ShardedEngine;
+using cord::sim::SyncMode;
+using cord::sim::Time;
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct ModelCfg {
+  std::size_t shards = 2;
+  QueueKind queue = QueueKind::kHeap;
+  Time lookahead = 100;
+  std::uint64_t seed = 1;
+  std::uint32_t chain_len = 64;  // events per shard chain
+  Time base_gap = 0;             // per-event delta = base_gap + h % gap_mod
+  Time gap_mod = 1;
+  std::uint32_t post_every = 4;  // cross-post when h % post_every == 0
+  // Per-shard overrides (index < size); empty = uniform.
+  std::vector<Time> base_gap_of;
+  std::vector<std::uint32_t> chain_len_of;
+
+  Time gap(std::size_t s) const {
+    return s < base_gap_of.size() ? base_gap_of[s] : base_gap;
+  }
+  std::uint32_t len(std::size_t s) const {
+    return s < chain_len_of.size() ? chain_len_of[s] : chain_len;
+  }
+};
+
+struct ModelState {
+  std::vector<std::uint64_t> acc;  // one commutative accumulator per shard
+};
+
+struct ModelResult {
+  std::vector<std::uint64_t> acc;
+  Time final_time = 0;
+  std::uint64_t events = 0;
+  std::uint64_t clamped = 0;
+};
+
+// Executor seam: where events live and how cross-"shard" posts travel.
+struct SingleExec {
+  explicit SingleExec(const ModelCfg& cfg) : eng(cfg.queue) {}
+  Engine& engine(std::size_t) { return eng; }
+  void post(std::size_t, std::size_t, Time t, InlineFn fn) {
+    eng.call_at_replayable(t, std::move(fn));
+  }
+  Time run() { return eng.run(); }
+  std::uint64_t events() const { return eng.events_processed(); }
+  std::uint64_t clamped() const { return eng.clamped_events(); }
+  Engine eng;
+};
+
+struct ShardExec {
+  ShardExec(const ModelCfg& cfg, SyncMode sync, std::uint32_t depth)
+      : se(cfg.shards, cfg.queue) {
+    se.set_lookahead(cfg.lookahead);
+    se.set_sync(sync, depth);
+  }
+  Engine& engine(std::size_t s) { return se.shard(s); }
+  void post(std::size_t src, std::size_t dst, Time t, InlineFn fn) {
+    se.shard(src).cross_post_replayable(se.shard(dst), t, std::move(fn));
+  }
+  Time run() { return se.run(); }
+  std::uint64_t events() const { return se.events_processed(); }
+  std::uint64_t clamped() const { return se.clamped_events(); }
+  ShardedEngine se;
+};
+
+// One chain step on logical shard `s`. Everything below is a pure
+// function of (cfg.seed, s, k): scheduling decisions never read model
+// state, so the executed event set is identical across sync modes.
+template <typename Exec>
+void chain_step(Exec& ex, const ModelCfg& cfg, ModelState& st, std::uint32_t s,
+                std::uint32_t k) {
+  Engine& e = ex.engine(s);
+  const Time t = e.now();
+  const std::uint64_t h = splitmix(cfg.seed ^ (s * 0x10001ULL) ^ k);
+  e.spec_store(st.acc[s], st.acc[s] + h);
+  if (cfg.shards > 1 && cfg.post_every != 0 && h % cfg.post_every == 0) {
+    const auto dst = static_cast<std::uint32_t>(
+        (s + 1 + (h >> 8) % (cfg.shards - 1)) % cfg.shards);
+    const Time post_t =
+        t + cfg.lookahead + static_cast<Time>((h >> 16) % 16);
+    const std::uint64_t v = splitmix(h);
+    Engine* de = &ex.engine(dst);
+    ex.post(s, dst, post_t, InlineFn([de, &st, dst, v] {
+              de->spec_store(st.acc[dst], st.acc[dst] + v);
+            }));
+  }
+  if (k + 1 < cfg.len(s)) {
+    const Time delta = cfg.gap(s) + static_cast<Time>(h % cfg.gap_mod);
+    e.call_at_replayable(t + delta, [&ex, &cfg, &st, s, k] {
+      chain_step(ex, cfg, st, s, k + 1);
+    });
+  }
+}
+
+template <typename Exec, typename... Args>
+ModelResult run_model(const ModelCfg& cfg, Args&&... args) {
+  Exec ex(cfg, std::forward<Args>(args)...);
+  ModelState st;
+  st.acc.assign(cfg.shards, 0);
+  for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+    const Time t0 = static_cast<Time>(1 + s);
+    ex.engine(s).call_at_replayable(t0, [&ex, &cfg, &st, s] {
+      chain_step(ex, cfg, st, s, 0);
+    });
+  }
+  ModelResult r;
+  r.final_time = ex.run();
+  r.acc = st.acc;
+  r.events = ex.events();
+  r.clamped = ex.clamped();
+  return r;
+}
+
+// Run the model under all three executions and demand equality.
+// Returns the speculative run's stats for protocol-level assertions.
+cord::sim::ShardStats expect_equivalent(const ModelCfg& cfg,
+                                        std::uint32_t depth) {
+  const ModelResult single = run_model<SingleExec>(cfg);
+  const ModelResult cons =
+      run_model<ShardExec>(cfg, SyncMode::kConservative, depth);
+  ShardExec spec_ex(cfg, SyncMode::kSpeculative, depth);
+  ModelState st;
+  st.acc.assign(cfg.shards, 0);
+  for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+    spec_ex.engine(s).call_at_replayable(
+        static_cast<Time>(1 + s),
+        [&spec_ex, &cfg, &st, s] { chain_step(spec_ex, cfg, st, s, 0); });
+  }
+  ModelResult spec;
+  spec.final_time = spec_ex.run();
+  spec.acc = st.acc;
+  spec.events = spec_ex.events();
+  spec.clamped = spec_ex.clamped();
+
+  EXPECT_EQ(single.acc, cons.acc);
+  EXPECT_EQ(single.acc, spec.acc);
+  EXPECT_EQ(single.final_time, cons.final_time);
+  EXPECT_EQ(single.final_time, spec.final_time);
+  EXPECT_EQ(single.events, cons.events);
+  EXPECT_EQ(single.events, spec.events);
+  EXPECT_EQ(0u, single.clamped);
+  EXPECT_EQ(0u, cons.clamped);
+  EXPECT_EQ(0u, spec.clamped);
+  return spec_ex.se.stats();
+}
+
+TEST(Speculative, ParseSyncMode) {
+  EXPECT_EQ(SyncMode::kConservative, cord::sim::parse_sync_mode("conservative"));
+  EXPECT_EQ(SyncMode::kSpeculative, cord::sim::parse_sync_mode("speculative"));
+  EXPECT_THROW(cord::sim::parse_sync_mode("optimistic"), std::invalid_argument);
+  EXPECT_EQ("conservative", cord::sim::sync_mode_name(SyncMode::kConservative));
+  EXPECT_EQ("speculative", cord::sim::sync_mode_name(SyncMode::kSpeculative));
+}
+
+TEST(Speculative, DepthZeroRejected) {
+  ShardedEngine se(2);
+  EXPECT_THROW(se.set_sync(SyncMode::kSpeculative, 0), std::invalid_argument);
+}
+
+TEST(Speculative, SpecStoreOutsideSpeculationIsPlainAssignment) {
+  Engine e;
+  std::uint64_t cell = 7;
+  e.spec_store(cell, std::uint64_t{42});
+  EXPECT_EQ(42u, cell);
+  EXPECT_FALSE(e.speculating());
+  EXPECT_EQ(0u, e.spec_depth());
+}
+
+// A dense fast shard plus a slow poster: speculation runs the fast shard
+// many windows ahead, and the slow shard's deliveries land in its past.
+// Deterministic — this scenario MUST roll back, and still match the
+// single-engine run exactly.
+ModelCfg rollback_heavy_cfg(QueueKind queue, std::uint64_t seed) {
+  ModelCfg cfg;
+  cfg.shards = 2;
+  cfg.queue = queue;
+  cfg.lookahead = 100;
+  cfg.seed = seed;
+  cfg.gap_mod = 8;
+  cfg.post_every = 1;  // every shard-0 step posts
+  cfg.base_gap_of = {400, 25};
+  cfg.chain_len_of = {24, 256};
+  return cfg;
+}
+
+TEST(Speculative, RollbackScenarioMatchesSingleEngineHeap) {
+  const auto stats = expect_equivalent(rollback_heavy_cfg(QueueKind::kHeap, 11),
+                                       /*depth=*/8);
+  EXPECT_TRUE(stats.speculative);
+  EXPECT_GT(stats.rollbacks, 0u);
+  EXPECT_GT(stats.rolled_back_events, 0u);
+  EXPECT_GT(stats.journaled_effects, 0u);
+  EXPECT_GT(stats.max_speculation_depth, 0u);
+}
+
+TEST(Speculative, RollbackScenarioMatchesSingleEngineCalendar) {
+  const auto stats = expect_equivalent(
+      rollback_heavy_cfg(QueueKind::kCalendar, 12), /*depth=*/8);
+  EXPECT_TRUE(stats.speculative);
+  EXPECT_GT(stats.rollbacks, 0u);
+}
+
+TEST(Speculative, DepthOneDegeneratesToConservativePacing) {
+  const auto stats =
+      expect_equivalent(rollback_heavy_cfg(QueueKind::kHeap, 13), /*depth=*/1);
+  EXPECT_TRUE(stats.speculative);
+  // Depth 1 never runs past the conservative edge: nothing journals and
+  // nothing can roll back.
+  EXPECT_EQ(0u, stats.journaled_effects);
+  EXPECT_EQ(0u, stats.rollbacks);
+}
+
+// Randomized differential sweep: topologies and rates drawn from the
+// seed, speculative vs conservative vs single-engine, both backends.
+TEST(Speculative, RandomizedDifferential) {
+  std::uint64_t total_rollbacks = 0;
+  std::uint64_t total_journaled = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::uint64_t h = splitmix(seed * 0xabcdULL);
+    ModelCfg cfg;
+    cfg.shards = 2 + h % 3;  // 2..4
+    cfg.queue = (h >> 4) % 2 == 0 ? QueueKind::kHeap : QueueKind::kCalendar;
+    cfg.lookahead = 50 + static_cast<Time>((h >> 8) % 200);
+    cfg.seed = seed;
+    cfg.chain_len = 48 + static_cast<std::uint32_t>((h >> 16) % 128);
+    cfg.base_gap = 10 + static_cast<Time>((h >> 24) % 64);
+    cfg.gap_mod = 1 + static_cast<Time>((h >> 32) % 96);
+    cfg.post_every = 1 + static_cast<std::uint32_t>((h >> 40) % 5);
+    // Skew one shard slow so speculation has something to outrun.
+    cfg.base_gap_of.assign(cfg.shards, cfg.base_gap);
+    cfg.base_gap_of[h % cfg.shards] = cfg.base_gap * 16;
+    const auto depth = static_cast<std::uint32_t>(2 + (h >> 48) % 7);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " shards=" + std::to_string(cfg.shards) +
+                 " depth=" + std::to_string(depth));
+    const auto stats = expect_equivalent(cfg, depth);
+    total_rollbacks += stats.rollbacks;
+    total_journaled += stats.journaled_effects;
+  }
+  // The sweep as a whole must exercise the optimistic machinery.
+  EXPECT_GT(total_journaled, 0u);
+  EXPECT_GT(total_rollbacks, 0u);
+}
+
+// Non-replayable events are speculation fences: a model that never opts
+// in executes the exact conservative schedule even under kSpeculative.
+TEST(Speculative, UnmarkedEventsNeverSpeculate) {
+  for (QueueKind queue : {QueueKind::kHeap, QueueKind::kCalendar}) {
+    ShardedEngine se(2, queue);
+    se.set_lookahead(100);
+    se.set_sync(SyncMode::kSpeculative, 8);
+    std::vector<std::uint64_t> acc(2, 0);
+    for (std::uint32_t s = 0; s < 2; ++s) {
+      struct Chain {
+        ShardedEngine* se;
+        std::vector<std::uint64_t>* acc;
+        std::uint32_t s, k;
+        void operator()() const {
+          Engine& e = se->shard(s);
+          (*acc)[s] += splitmix(s * 1000 + k);
+          if (k % 3 == 0) {
+            Engine& d = se->shard(1 - s);
+            std::uint64_t* cell = &(*acc)[1 - s];
+            e.cross_post(d, e.now() + 150, cord::sim::InlineFn([cell] {
+                           *cell += 1;
+                         }));
+          }
+          if (k + 1 < 40) {
+            e.call_at(e.now() + 60, Chain{se, acc, s, k + 1});
+          }
+        }
+      };
+      se.shard(s).call_at(1 + s, Chain{&se, &acc, s, 0});
+    }
+    se.run();
+    EXPECT_TRUE(se.stats().speculative);
+    EXPECT_EQ(0u, se.stats().journaled_effects);
+    EXPECT_EQ(0u, se.stats().rollbacks);
+    EXPECT_EQ(0u, se.clamped_events());
+  }
+}
+
+// Speculation counters surface through System::metrics() and every host
+// kernel's proc_read("metrics") — the observability satellite.
+TEST(Speculative, CountersSurfaceThroughSystemMetricsAndProcfs) {
+  cord::core::SystemConfig cfg = cord::core::system_l();
+  cfg.sync = SyncMode::kSpeculative;
+  cfg.speculation_depth = 8;
+  cord::core::System sys(cfg, /*host_count=*/2, /*shards=*/2);
+  ASSERT_EQ(sys.sharded().sync(), SyncMode::kSpeculative);
+  // Drive the shards directly with dense replayable chains: the hosts'
+  // NIC models stay idle, so every counter below is attributable to the
+  // chains (no cross posts — journaled grows, rollbacks stay 0).
+  static std::uint64_t cell[2];
+  cell[0] = cell[1] = 0;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    struct Chain {
+      Engine* e;
+      std::uint32_t s, k;
+      void operator()() const {
+        e->spec_store(cell[s], cell[s] + k);
+        if (k + 1 < 64) {
+          e->call_at_replayable(e->now() + cord::sim::ns(10), Chain{e, s, k + 1});
+        }
+      }
+    };
+    Engine& e = sys.sharded().shard(s);
+    e.call_at_replayable(1 + s, Chain{&e, s, 0});
+  }
+  sys.sharded().run();
+  const auto& st = sys.sharded().stats();
+  EXPECT_TRUE(st.speculative);
+  EXPECT_GT(st.journaled_effects, 0u);
+  EXPECT_EQ(sys.metrics().gauge_value("sim.shard.windows"),
+            static_cast<std::int64_t>(st.windows));
+  EXPECT_EQ(sys.metrics().gauge_value("sim.shard.journaled_effects"),
+            static_cast<std::int64_t>(st.journaled_effects));
+  EXPECT_EQ(sys.metrics().gauge_value("sim.shard.rollbacks"),
+            static_cast<std::int64_t>(st.rollbacks));
+  EXPECT_EQ(sys.metrics().gauge_value("sim.shard.max_speculation_depth"),
+            static_cast<std::int64_t>(st.max_speculation_depth));
+  const std::string dump = sys.host(0).kernel().proc_read("metrics");
+  EXPECT_NE(dump.find("sim.shard.windows"), std::string::npos);
+  EXPECT_NE(dump.find("sim.shard.journaled_effects"), std::string::npos);
+  EXPECT_NE(dump.find("sim.shard.rollbacks"), std::string::npos);
+  EXPECT_NE(dump.find("sim.shard.max_speculation_depth"), std::string::npos);
+}
+
+// The causal critical-path report grows a shard-spec subsection next to
+// the barrier-idle line when the run was speculative.
+TEST(Speculative, CriticalPathReportHasSpeculationSubsection) {
+  cord::trace::causal::CriticalPath cp{};
+  cord::sim::ShardStats sync;
+  sync.barrier_wait_ns = {1000, 2000};
+  sync.barrier_waits = {1, 2};
+  sync.windows = 5;
+  const std::string cons = cord::trace::causal::critical_path_report(cp, &sync);
+  EXPECT_NE(cons.find("shard-sync"), std::string::npos);
+  EXPECT_EQ(cons.find("shard-spec"), std::string::npos);
+  sync.speculative = true;
+  sync.journaled_effects = 100;
+  sync.rollbacks = 3;
+  sync.rolled_back_events = 20;
+  sync.cancelled_messages = 2;
+  sync.max_speculation_depth = 7;
+  const std::string spec = cord::trace::causal::critical_path_report(cp, &sync);
+  EXPECT_NE(spec.find("shard-spec"), std::string::npos);
+  EXPECT_NE(spec.find("3 rollbacks"), std::string::npos);
+  EXPECT_NE(spec.find("20.0% wasted"), std::string::npos);
+  EXPECT_NE(spec.find("max depth 7"), std::string::npos);
+}
+
+TEST(Speculative, SpawnInsideSpeculativeDispatchThrows) {
+  ShardedEngine se(2);
+  se.set_lookahead(100);
+  se.set_sync(SyncMode::kSpeculative, 8);
+  // Shard 1 idles far in the future so shard 0's second event is past the
+  // conservative edge and dispatches speculatively.
+  se.shard(1).call_at(1'000'000, [] {});
+  bool threw = false;
+  se.shard(0).call_at_replayable(50, [] {});
+  se.shard(0).call_at_replayable(500, [&se, &threw] {
+    try {
+      se.shard(0).spawn(([]() -> cord::sim::Task<void> { co_return; })());
+    } catch (const std::logic_error&) {
+      threw = true;
+      // Swallow: the contract violation is reported at the spawn site.
+    }
+  });
+  se.run();
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
