@@ -14,12 +14,17 @@
 #   BASELINE     committed BENCH_micro_sim.json
 #   MICRO_SIM    path to the micro_sim binary
 #   TRACE_BENCH  path to the abl_trace_overhead binary
+#   TENANCY_BENCH path to the bench_tenancy binary
 #   OUT_DIR      scratch directory for fresh JSON output
 #   TOLERANCE    allowed regression in percent (e.g. 20)
 #
 # Optional:
 #   SPEC_FLOOR   minimum speculative-over-conservative wall-time speedup
 #                on the tight-lookahead shard benchmark (default 1.3)
+#   CLIFF_FLOOR  minimum exclusive-mode connection-scale latency cliff
+#                (default 1.25)
+#   TAIL_FLOOR   minimum noisy-neighbor victim-p99 restoration by the
+#                CoRD policy chain vs the bypassed run (default 2.0)
 #
 # Note: this host is a single noisy core; the tolerance is deliberately
 # generous and the gate runs each binary once. Treat a failure as "rerun
@@ -27,7 +32,7 @@
 cmake_minimum_required(VERSION 3.19)  # string(JSON)
 
 foreach(var BASELINE MICRO_SIM TRACE_BENCH SHARD_BENCH SHARD_BASELINE
-        OUT_DIR TOLERANCE)
+        TENANCY_BENCH OUT_DIR TOLERANCE)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_gate: missing -D${var}")
   endif()
@@ -279,6 +284,80 @@ else()
     message(STATUS "speculation speedup (tight-lookahead, 4 shards): "
             "${_ratio}x over conservative (floor ${SPEC_FLOOR}x) — OK")
   endif()
+endif()
+
+# --- 4. massive-tenancy scenarios --------------------------------------------
+# bench_tenancy emits *simulated* (virtual-time, deterministic) numbers,
+# so these are hard floors, not noise-tolerant regression checks:
+#   - the exclusive-mode qps sweep must reproduce the ICM context cliff
+#     (16384 connections vs 1024 at a 4096-entry cache: >= CLIFF_FLOOR);
+#   - shared mode at one million logical connections must stay bounded
+#     (exactly the 64-QP pool; <= 64 MiB of connection-table memory);
+#   - the CoRD policy chain must restore the noisy-neighbor victims' p99
+#     by >= TAIL_FLOOR over the bypassed run, while actually denying
+#     attacker ops (a chain that never bites proves nothing).
+if(NOT DEFINED CLIFF_FLOOR)
+  set(CLIFF_FLOOR 1.25)
+endif()
+if(NOT DEFINED TAIL_FLOOR)
+  set(TAIL_FLOOR 2.0)
+endif()
+set(_tenancy "${OUT_DIR}/BENCH_tenancy.json")
+execute_process(
+  COMMAND "${TENANCY_BENCH}" "${_tenancy}"
+  RESULT_VARIABLE _rc OUTPUT_QUIET)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "bench_gate: bench_tenancy failed (rc=${_rc})")
+endif()
+file(READ "${_tenancy}" _tdoc)
+foreach(_key cliff_ratio shared_1m_physical_qps shared_1m_conn_table_bytes
+        victim_tail_restore noisy_cord_attacker_denied
+        noisy_cord_attacker_reg_denied)
+  string(JSON _${_key} GET "${_tdoc}" "${_key}")
+endforeach()
+
+execute_process(
+  COMMAND awk -v r=${_cliff_ratio} -v f=${CLIFF_FLOOR}
+          "BEGIN { exit (r >= f) ? 0 : 1 }"
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  list(APPEND _failures
+       "tenancy: exclusive-mode connection cliff is only ${_cliff_ratio}x (floor ${CLIFF_FLOOR}x) — the ICM miss path has gone flat")
+else()
+  message(STATUS "tenancy: connection cliff ${_cliff_ratio}x at 16384 "
+          "connections (floor ${CLIFF_FLOOR}x) — OK")
+endif()
+
+if(NOT _shared_1m_physical_qps EQUAL 64)
+  list(APPEND _failures
+       "tenancy: shared mode at 1M logical connections created ${_shared_1m_physical_qps} physical QPs (expected the 64-QP pool)")
+endif()
+if(_shared_1m_conn_table_bytes GREATER 67108864)
+  list(APPEND _failures
+       "tenancy: shared-mode connection table is ${_shared_1m_conn_table_bytes} B at 1M logical connections (bound: 64 MiB)")
+else()
+  message(STATUS "tenancy: shared mode at 1M logical connections — "
+          "${_shared_1m_physical_qps} QPs, ${_shared_1m_conn_table_bytes} B — OK")
+endif()
+
+execute_process(
+  COMMAND awk -v r=${_victim_tail_restore} -v f=${TAIL_FLOOR}
+          "BEGIN { exit (r >= f) ? 0 : 1 }"
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  list(APPEND _failures
+       "tenancy: policy chain restores victim p99 by only ${_victim_tail_restore}x (floor ${TAIL_FLOOR}x)")
+else()
+  message(STATUS "tenancy: noisy-neighbor victim p99 restored "
+          "${_victim_tail_restore}x by the policy chain (floor ${TAIL_FLOOR}x) — OK")
+endif()
+if(_noisy_cord_attacker_denied EQUAL 0)
+  list(APPEND _failures
+       "tenancy: the op-rate quota never denied the attacker — the chain is not biting")
+endif()
+if(_noisy_cord_attacker_reg_denied EQUAL 0)
+  list(APPEND _failures
+       "tenancy: the registration quota never denied the attacker's MR churn")
 endif()
 
 if(_failures)

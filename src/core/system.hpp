@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "fabric/topology.hpp"
+#include "os/conn.hpp"
 #include "os/kernel.hpp"
 #include "sim/sharded.hpp"
 #include "trace/causal/aggregate.hpp"
@@ -63,6 +64,14 @@ struct SystemConfig {
   /// Speculation throttle: how many lookahead windows past the
   /// conservative edge a shard may run (>= 1; 1 = conservative pacing).
   std::uint32_t speculation_depth = sim::ShardedEngine::kDefaultSpeculationDepth;
+  /// Connection-endpoint mode (the runtime conn=exclusive|shared knob,
+  /// os::parse_conn_mode). Exclusive gives every logical connection its
+  /// own physical QP; shared multiplexes logical connections over a
+  /// bounded pool of `shared_qp_pool` physical QPs per destination
+  /// (DCT/RDMAvisor-style, os/conn.hpp), keeping the NIC context working
+  /// set and host memory bounded at millions of logical connections.
+  os::ConnMode conn_mode = os::ConnMode::kExclusive;
+  std::uint32_t shared_qp_pool = 64;
 
   /// Fabric topology between hosts.
   enum class Wiring {

@@ -37,6 +37,16 @@ struct NicConfig {
   /// Receiver-not-ready retry backoff and retry budget.
   sim::Time rnr_timer = sim::us(10);
   std::uint32_t rnr_retries = 8;
+  /// On-NIC connection-context cache (ICM model, nic/icm.hpp): how many
+  /// QP contexts and MR contexts fit on-die. 0 = unbounded (model off,
+  /// nothing charged — the default, keeping existing scenarios
+  /// byte-identical). When bounded, a miss charges icm_miss_latency on
+  /// the doorbell ring (QP context) or the WQE fetch (MR context) — the
+  /// host-memory fetch over PCIe that produces the connection-count
+  /// performance cliff.
+  std::uint32_t icm_qp_capacity = 0;
+  std::uint32_t icm_mr_capacity = 0;
+  sim::Time icm_miss_latency = sim::ns(600);
 };
 
 }  // namespace cord::nic

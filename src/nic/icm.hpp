@@ -1,0 +1,118 @@
+// On-NIC connection-context cache (ICM model).
+//
+// ConnectX-class devices keep QP/MR context structures in host memory
+// (Interconnect Context Memory) and cache only the hot entries on-die.
+// A working set that outgrows the cache pays a PCIe round trip per miss
+// on doorbell ring and WQE fetch — the connection-count performance
+// cliff that motivates shared-connection designs (PAPERS.md: RDMAvisor).
+//
+// Deterministic LRU: `touch` is the only mutation on the data path, the
+// recency list is an intrusive doubly-linked list over dense slots, and
+// the key index is only ever probed (never iterated), so replay order —
+// and therefore every charged miss — is a pure function of the touch
+// sequence.
+//
+// Capacity 0 disables the model entirely: every touch hits, nothing is
+// counted or charged. That is the default, which keeps all pre-existing
+// scenarios (goldens, canonical traces) byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cord::nic {
+
+class IcmCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  explicit IcmCache(std::uint32_t capacity = 0) : capacity_(capacity) {}
+
+  /// Access the context for `key`. Returns true on hit; on miss installs
+  /// the key as most-recently-used, evicting the LRU entry if full.
+  bool touch(std::uint32_t key) {
+    if (capacity_ == 0) return true;  // model disabled
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      unlink(it->second);
+      push_front(it->second);
+      return true;
+    }
+    ++stats_.misses;
+    std::uint32_t slot;
+    if (map_.size() >= capacity_) {
+      // Reuse the LRU victim's slot for the new key.
+      slot = tail_;
+      ++stats_.evictions;
+      map_.erase(nodes_[slot].key);
+      unlink(slot);
+      nodes_[slot].key = key;
+    } else if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      nodes_[slot].key = key;
+    } else {
+      slot = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{key, kNil, kNil});
+    }
+    push_front(slot);
+    map_.emplace(key, slot);
+    return false;
+  }
+
+  /// Drop `key` (its context object was destroyed: QP destroy, MR
+  /// deregister). Required for correctness, not just hygiene — the MR
+  /// table recycles lkeys, so a stale entry could falsely hit for a
+  /// later, unrelated context.
+  void erase(std::uint32_t key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return;
+    unlink(it->second);
+    free_.push_back(it->second);
+    map_.erase(it);
+  }
+
+  std::uint32_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ != 0; }
+  std::size_t size() const { return map_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  struct Node {
+    std::uint32_t key = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  void unlink(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    if (n.prev != kNil) nodes_[n.prev].next = n.next; else head_ = n.next;
+    if (n.next != kNil) nodes_[n.next].prev = n.prev; else tail_ = n.prev;
+    n.prev = n.next = kNil;
+  }
+  void push_front(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    n.prev = kNil;
+    n.next = head_;
+    if (head_ != kNil) nodes_[head_].prev = slot; else tail_ = slot;
+    head_ = slot;
+  }
+
+  std::uint32_t capacity_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  std::unordered_map<std::uint32_t, std::uint32_t> map_;  // key -> slot
+  Stats stats_;
+};
+
+}  // namespace cord::nic

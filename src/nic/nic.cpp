@@ -79,7 +79,9 @@ Nic::Nic(sim::Engine& engine, fabric::Network& network, NicRegistry& registry,
       cfg_(cfg),
       processing_(engine),
       dma_rd_(engine),
-      dma_wr_(engine) {
+      dma_wr_(engine),
+      icm_qp_(cfg.icm_qp_capacity),
+      icm_mr_(cfg.icm_mr_capacity) {
   registry.add(*this);
 }
 
@@ -103,6 +105,7 @@ QueuePair* Nic::create_qp(const QpConfig& cfg) {
 void Nic::destroy_qp(std::uint32_t qpn) {
   const std::uint32_t idx = qpn - kFirstQpn;
   if (idx < qps_.size()) qps_[idx].reset();
+  icm_qp_.erase(qpn);
 }
 
 SharedReceiveQueue* Nic::create_srq(ProtectionDomainId pd, std::uint32_t capacity) {
@@ -240,11 +243,16 @@ void Nic::kick(QueuePair& qp, std::uint32_t trace_span) {
   }
   counters_.doorbells++;
   qp.sq_worker_active_ = true;
+  // The doorbell makes the device look up the QP context; if it is not
+  // resident in the on-NIC ICM cache, the device stalls for a host-memory
+  // fetch before it can schedule the SQ (the connection-count cliff).
+  const sim::Time db = cfg_.doorbell_latency +
+                       (icm_qp_.touch(qp.qpn()) ? 0 : cfg_.icm_miss_latency);
   if (trace::Tracer* tr = engine_->tracer()) [[unlikely]] {
     tr->record(trace::Point::kDoorbell, trace_span, qp.qpn(), 0,
-               static_cast<std::uint8_t>(node_), 0, cfg_.doorbell_latency);
+               static_cast<std::uint8_t>(node_), 0, db);
   }
-  engine_->call_in(cfg_.doorbell_latency, [this, qpn = qp.qpn()] {
+  engine_->call_in(db, [this, qpn = qp.qpn()] {
     if (find_qp(qpn) != nullptr) {
       counters_.sq_bursts++;
       sq_resume(qpn);
@@ -322,8 +330,12 @@ void Nic::sq_drain_burst(QueuePair& qp) {
     qp.sq_.pop_front();
     qp.sq_inflight_++;
     counters_.sq_burst_wrs++;
-    last = processing_.reserve(cfg_.wqe_processing);
-    process_one(qp, std::move(wr), 0, last, burst_.mr_ok[i] != 0);
+    const bool mr_ok = burst_.mr_ok[i] != 0;
+    // An ICM MR-context miss widens this WQE's pipeline slot: the fetch
+    // stalls on the host-memory context read before parsing can start.
+    const sim::Time fetch = wqe_fetch_cost(wr, mr_ok);
+    last = processing_.reserve(fetch);
+    process_one(qp, std::move(wr), 0, last, mr_ok, fetch);
   }
   // One continuation event at the burst's end: drains WQEs posted while
   // this burst was (virtually) processing, or deactivates — at exactly
@@ -340,11 +352,15 @@ sim::Task<> Nic::sq_worker(std::uint32_t qpn) {
     qp->sq_.pop_front();
     qp->sq_inflight_++;
     counters_.sq_burst_wrs++;
-    const sim::Time at = co_await processing_.use(cfg_.wqe_processing);
+    // Protection verdict and ICM touch happen at fetch initiation, before
+    // the pipeline slot — the same order (and therefore the same hit/miss
+    // replay) as the fused drain's batched pass.
+    const bool mr_ok = wqe_mr_ok(wr, qp->pd());
+    const sim::Time fetch = wqe_fetch_cost(wr, mr_ok);
+    const sim::Time at = co_await processing_.use(fetch);
     qp = find_qp(qpn);  // revalidate after suspension
     if (qp == nullptr) co_return;
-    const bool mr_ok = wqe_mr_ok(wr, qp->pd());
-    process_one(*qp, std::move(wr), 0, at, mr_ok);
+    process_one(*qp, std::move(wr), 0, at, mr_ok, fetch);
   }
   if (QueuePair* qp = find_qp(qpn)) qp->sq_worker_active_ = false;
 }
@@ -357,17 +373,33 @@ bool Nic::wqe_mr_ok(const SendWr& wr, ProtectionDomainId pd) const {
   return mrs_.check_local(wr.sge, pd, needs_local_write) != nullptr;
 }
 
+sim::Time Nic::wqe_fetch_cost(const SendWr& wr, bool mr_ok) {
+  // Inline/empty WQEs carry their payload (or none) in the descriptor and
+  // reference no MR context; failed protection checks abort before any
+  // context fetch.
+  if (wr.inline_data || payload_len(wr) == 0 || !mr_ok) {
+    return cfg_.wqe_processing;
+  }
+  return icm_mr_.touch(wr.sge.lkey)
+             ? cfg_.wqe_processing
+             : cfg_.wqe_processing + cfg_.icm_miss_latency;
+}
+
 void Nic::retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts) {
   QueuePair* qp = find_qp(qpn);
   if (qp == nullptr || qp->state_ != QpState::kRts) return;
   engine_->spawn([](Nic& nic, std::uint32_t qpn, WrRef wr,
                     std::uint32_t attempts) -> sim::Task<> {
-    const sim::Time at = co_await nic.processing_.use(nic.cfg_.wqe_processing);
     QueuePair* qp = nic.find_qp(qpn);
     if (qp == nullptr) co_return;
-    // The credit for this WR is still held; process_one does not take one.
+    // A retry re-fetches the WQE, so it re-touches the MR context too.
     const bool mr_ok = nic.wqe_mr_ok(*wr, qp->pd());
-    nic.process_one(*qp, std::move(*wr), attempts, at, mr_ok);
+    const sim::Time fetch = nic.wqe_fetch_cost(*wr, mr_ok);
+    const sim::Time at = co_await nic.processing_.use(fetch);
+    qp = nic.find_qp(qpn);
+    if (qp == nullptr) co_return;
+    // The credit for this WR is still held; process_one does not take one.
+    nic.process_one(*qp, std::move(*wr), attempts, at, mr_ok, fetch);
   }(*this, qpn, std::move(wr), rnr_attempts));
 }
 
@@ -456,15 +488,17 @@ Nic::TxTimes Nic::reserve_dst_chain(const fabric::Path& p,
 // the reservation times schedule_chain computed. Only called with an
 // active tracer.
 void Nic::trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
-                      NodeId dst_node, std::uint64_t len, sim::Time at) {
+                      NodeId dst_node, std::uint64_t len, sim::Time at,
+                      sim::Time fetch_cost) {
   trace::Tracer* tr = engine_->tracer();
   const auto node = static_cast<std::uint8_t>(node_);
   // `at` is the end of the reserved WQE-processing slot; back-dating the
-  // fetch record by the slot width plumbs the reservation into the trace
-  // (the causal analyzer reads service time as record duration and closes
-  // the NIC scheduling stage at t + dur == at).
-  tr->record_at(at - cfg_.wqe_processing, trace::Point::kWqeFetch,
-                wr.trace_span, qpn, 0, node, len, cfg_.wqe_processing);
+  // fetch record by the slot width (which includes any ICM miss penalty)
+  // plumbs the reservation into the trace (the causal analyzer reads
+  // service time as record duration and closes the NIC scheduling stage
+  // at t + dur == at).
+  tr->record_at(at - fetch_cost, trace::Point::kWqeFetch,
+                wr.trace_span, qpn, 0, node, len, fetch_cost);
   if (!wr.inline_data && len > 0) {
     tr->record_at(at, trace::Point::kDmaFetch, wr.trace_span, qpn, 0, node,
                   len, dma_fetch_time(len));
@@ -478,14 +512,15 @@ void Nic::trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
   }
 }
 
-void Nic::trace_fetch(std::uint32_t qpn, const SendWr& wr, std::uint64_t len) {
+void Nic::trace_fetch(std::uint32_t qpn, const SendWr& wr, std::uint64_t len,
+                      sim::Time fetch_cost) {
   trace::Tracer* tr = engine_->tracer();
   const auto node = static_cast<std::uint8_t>(node_);
   // Same reservation plumbing as trace_chain (runs at the end of the
   // processing slot), so cross-shard chains carry identical durations.
   const sim::Time at = engine_->now();
-  tr->record_at(at - cfg_.wqe_processing, trace::Point::kWqeFetch,
-                wr.trace_span, qpn, 0, node, len, cfg_.wqe_processing);
+  tr->record_at(at - fetch_cost, trace::Point::kWqeFetch,
+                wr.trace_span, qpn, 0, node, len, fetch_cost);
   if (!wr.inline_data && len > 0) {
     tr->record_at(at, trace::Point::kDmaFetch, wr.trace_span, qpn, 0, node,
                   len, dma_fetch_time(len));
@@ -504,7 +539,7 @@ sim::Time Nic::dma_fetch_time(std::uint64_t len) const {
 }
 
 void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
-                      sim::Time at, bool mr_ok) {
+                      sim::Time at, bool mr_ok, sim::Time fetch_cost) {
   const std::uint64_t len = payload_len(wr);
 
   if (!mr_ok) {
@@ -550,7 +585,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
         if (engine_->tracer() != nullptr) [[unlikely]] {
           // kWireTx and kDmaDeliver are emitted by the destination, which
           // computes the true wire arrival past the boundary.
-          trace_fetch(sqpn, wr, len);
+          trace_fetch(sqpn, wr, len, fetch_cost);
         }
         if (is_ud) {
           sender_complete(sqpn, wr, WcStatus::kSuccess,
@@ -574,7 +609,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
       TxTimes t = schedule_chain(*dst, len, wr.inline_data,
                                  /*include_dst_dma=*/true, at);
       if (engine_->tracer() != nullptr) [[unlikely]] {
-        trace_chain(sqpn, wr, t, dest.node, len, at);
+        trace_chain(sqpn, wr, t, dest.node, len, at, fetch_cost);
       }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done,
@@ -592,7 +627,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
         auto arrivals = schedule_chain_src(*dst, len, wr.inline_data, at);
         const sim::Time posted = at;
         if (engine_->tracer() != nullptr) [[unlikely]] {
-          trace_fetch(sqpn, wr, len);
+          trace_fetch(sqpn, wr, len, fetch_cost);
         }
         const sim::Time first_at = arrivals.front().at;  // before the move
         post_remote(*dst, first_at,
@@ -609,7 +644,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
       TxTimes t = schedule_chain(*dst, len, wr.inline_data,
                                  /*include_dst_dma=*/true, at);
       if (engine_->tracer() != nullptr) [[unlikely]] {
-        trace_chain(sqpn, wr, t, dest.node, len, at);
+        trace_chain(sqpn, wr, t, dest.node, len, at, fetch_cost);
       }
       WrRef shared = wr_pool_.acquire(std::move(wr));
       engine_->call_at(t.wire_done,
@@ -631,7 +666,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
           rp.dst_latency(cfg_.header_bytes);
       TxTimes t{req_arrive, req_arrive};
       if (engine_->tracer() != nullptr) [[unlikely]] {
-        trace_chain(sqpn, wr, t, dest.node, 0, at);
+        trace_chain(sqpn, wr, t, dest.node, 0, at, fetch_cost);
       }
       if (cross) {
         post_remote(*dst, t.wire_done,
@@ -659,7 +694,7 @@ void Nic::process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
           rp.dst_latency(cfg_.header_bytes);
       TxTimes t{req_arrive, req_arrive};
       if (engine_->tracer() != nullptr) [[unlikely]] {
-        trace_chain(sqpn, wr, t, dest.node, 0, at);
+        trace_chain(sqpn, wr, t, dest.node, 0, at, fetch_cost);
       }
       if (cross) {
         post_remote(*dst, t.wire_done,

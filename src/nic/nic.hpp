@@ -34,6 +34,7 @@
 #include "fabric/link.hpp"
 #include "nic/config.hpp"
 #include "nic/cq.hpp"
+#include "nic/icm.hpp"
 #include "nic/mr.hpp"
 #include "nic/qp.hpp"
 #include "nic/types.hpp"
@@ -107,7 +108,10 @@ class Nic {
                                   std::size_t length, std::uint32_t access) {
     return mrs_.register_mr(pd, reinterpret_cast<std::uintptr_t>(addr), length, access);
   }
-  bool deregister_mr(std::uint32_t lkey) { return mrs_.deregister_mr(lkey); }
+  bool deregister_mr(std::uint32_t lkey) {
+    icm_mr_.erase(lkey);  // lkeys are recycled; a stale hit would be wrong
+    return mrs_.deregister_mr(lkey);
+  }
 
   CompletionQueue* create_cq(std::uint32_t capacity);
   QueuePair* create_qp(const QpConfig& cfg);
@@ -137,6 +141,11 @@ class Nic {
   int post_srq_recv(SharedReceiveQueue& srq, RecvWr wr);
 
   const MrTable& mr_table() const { return mrs_; }
+
+  /// On-NIC context caches (ICM model, nic/icm.hpp). Disabled (unbounded)
+  /// unless NicConfig bounds them; stats feed the `nic.icm.*` gauges.
+  const IcmCache& icm_qp_cache() const { return icm_qp_; }
+  const IcmCache& icm_mr_cache() const { return icm_mr_; }
 
  private:
   friend class NicRegistry;
@@ -223,11 +232,19 @@ class Nic {
   /// Local protection check a WQE must pass before transmission (inline
   /// and zero-length payloads skip the MR lookup).
   bool wqe_mr_ok(const SendWr& wr, ProtectionDomainId pd) const;
+  /// ICM charge for one WQE fetch: base wqe_processing plus the MR-context
+  /// miss penalty when the WQE references a memory region (non-inline,
+  /// non-empty, protection-checked). Mutates icm_mr_ — call exactly once
+  /// per fetch, in queue order, so fused and per-WQE drains replay the
+  /// same hit/miss sequence.
+  sim::Time wqe_fetch_cost(const SendWr& wr, bool mr_ok);
   /// Execute one WQE whose processing pipeline slot ends at `at` (== now
   /// on the per-WQE paths; ahead of now from the fused drain). `mr_ok` is
-  /// the (possibly batch-computed) wqe_mr_ok verdict.
+  /// the (possibly batch-computed) wqe_mr_ok verdict; `fetch_cost` the
+  /// reserved slot width (wqe_fetch_cost), plumbed through so the trace
+  /// records carry the true reservation.
   void process_one(QueuePair& qp, SendWr wr, std::uint32_t rnr_attempts,
-                   sim::Time at, bool mr_ok);
+                   sim::Time at, bool mr_ok, sim::Time fetch_cost);
   void retry_send(std::uint32_t qpn, WrRef wr, std::uint32_t rnr_attempts);
   /// Cross-shard RNR retry entry: the WR came back by value; re-pool it
   /// locally and retry.
@@ -276,11 +293,13 @@ class Nic {
   /// for one processed WR. Only called when a tracer is attached; `at` is
   /// the WQE's processing time (== now on the traced path).
   void trace_chain(std::uint32_t qpn, const SendWr& wr, const TxTimes& t,
-                   NodeId dst_node, std::uint64_t len, sim::Time at);
+                   NodeId dst_node, std::uint64_t len, sim::Time at,
+                   sim::Time fetch_cost);
   /// The fetch-side records only (kWqeFetch, kDmaFetch) — used on the
   /// boundary-crossing path, where the destination shard emits kWireTx and
   /// kDmaDeliver once it has computed the true wire arrival.
-  void trace_fetch(std::uint32_t qpn, const SendWr& wr, std::uint64_t len);
+  void trace_fetch(std::uint32_t qpn, const SendWr& wr, std::uint64_t len,
+                   sim::Time fetch_cost);
   /// Summed PCIe occupancy of a payload's MTU chunks (the source-side DMA
   /// service time plumbed into kDmaFetch records).
   sim::Time dma_fetch_time(std::uint64_t len) const;
@@ -356,6 +375,15 @@ class Nic {
     std::size_t size() const { return opcode.size(); }
   };
   SqBurst burst_;
+
+  /// On-NIC context caches (ICM model). QP contexts are touched on every
+  /// doorbell ring, MR contexts on every MR-referencing WQE fetch; misses
+  /// fold icm_miss_latency into the existing reservation timestamps.
+  /// Sender-side only, so all state stays shard-local; the NIC never opts
+  /// into speculative callbacks, so no journaling is needed under
+  /// sync=speculative (DESIGN.md §17: non-replayable models are fences).
+  IcmCache icm_qp_;
+  IcmCache icm_mr_;
 
   NicCounters counters_;
 };

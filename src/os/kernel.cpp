@@ -54,6 +54,28 @@ Kernel::Kernel(sim::Engine& engine, nic::Nic& nic, KernelConfig cfg)
   metrics_.callback_gauge("nic.seg_chunks", [this] {
     return static_cast<std::int64_t>(nic_->counters().seg_chunks);
   });
+  // On-NIC context-cache health (ICM model, nic/icm.hpp). All zero while
+  // the cache is unbounded (the default); under a bounded configuration
+  // the miss/eviction rates are the first thing to read when a host's
+  // latency climbs with its connection count.
+  metrics_.callback_gauge("nic.icm.qp_hits", [this] {
+    return static_cast<std::int64_t>(nic_->icm_qp_cache().stats().hits);
+  });
+  metrics_.callback_gauge("nic.icm.qp_misses", [this] {
+    return static_cast<std::int64_t>(nic_->icm_qp_cache().stats().misses);
+  });
+  metrics_.callback_gauge("nic.icm.qp_evictions", [this] {
+    return static_cast<std::int64_t>(nic_->icm_qp_cache().stats().evictions);
+  });
+  metrics_.callback_gauge("nic.icm.mr_hits", [this] {
+    return static_cast<std::int64_t>(nic_->icm_mr_cache().stats().hits);
+  });
+  metrics_.callback_gauge("nic.icm.mr_misses", [this] {
+    return static_cast<std::int64_t>(nic_->icm_mr_cache().stats().misses);
+  });
+  metrics_.callback_gauge("nic.icm.mr_evictions", [this] {
+    return static_cast<std::int64_t>(nic_->icm_mr_cache().stats().evictions);
+  });
   // Tail-latency watchdog firings (causal layer). The refresh happens at
   // read time, so an armed-but-unread watchdog still costs nothing on the
   // data path.
@@ -132,19 +154,34 @@ sim::Task<nic::ProtectionDomainId> Kernel::alloc_pd(Core& core) {
   co_return nic_->alloc_pd();
 }
 
-sim::Task<const nic::MemoryRegion*> Kernel::reg_mr(Core& core,
+sim::Task<const nic::MemoryRegion*> Kernel::reg_mr(Core& core, TenantId tenant,
                                                    nic::ProtectionDomainId pd,
                                                    void* addr, std::size_t len,
                                                    std::uint32_t access) {
+  const DataplaneOp op{DataplaneOp::Kind::kRegMr, tenant, 0,
+                       nic::Opcode::kSend, len, 0};
+  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  if (!v.allow) {
+    // Denied registrations still pay the crossing (the argument check
+    // happens inside the ioctl), but never reach the firmware command
+    // or the page pinning.
+    co_await ioctl(core, v.cpu_cost);
+    co_return nullptr;
+  }
   // Registration also pins pages: charge a per-page cost on top of the
   // firmware command (page-table walk + pinning, ~120 ns/page).
   const auto pages = static_cast<sim::Time>((len + 4095) / 4096);
-  co_await ioctl(core, cfg_.control_cmd + pages * sim::ns(120));
+  co_await ioctl(core, cfg_.control_cmd + pages * sim::ns(120) + v.cpu_cost);
+  if (v.pace_delay > 0) co_await core.idle(v.pace_delay);
   co_return &nic_->register_mr(pd, addr, len, access);
 }
 
-sim::Task<bool> Kernel::dereg_mr(Core& core, std::uint32_t lkey) {
-  co_await ioctl(core, cfg_.control_cmd);
+sim::Task<bool> Kernel::dereg_mr(Core& core, TenantId tenant, std::uint32_t lkey) {
+  const DataplaneOp op{DataplaneOp::Kind::kDeregMr, tenant, 0,
+                       nic::Opcode::kSend, 0, 0};
+  const PolicyVerdict v = policies_.evaluate(op, engine_->now());
+  co_await ioctl(core, cfg_.control_cmd + v.cpu_cost);
+  if (!v.allow) co_return false;
   co_return nic_->deregister_mr(lkey);
 }
 
@@ -302,7 +339,10 @@ sim::Task<std::size_t> Kernel::poll_cq(Core& core, TenantId tenant,
   const DataplaneOp op{DataplaneOp::Kind::kPollCq, tenant, 0,
                        nic::Opcode::kSend, 0, 0};
   const PolicyVerdict v = policies_.evaluate(op, t0, tr, 0, node);
-  const std::size_t n = cq.poll(out);
+  // A denied poll (CQ-quota policing a poll storm) returns 0 completions
+  // without touching the CQ: the entries stay queued for a later,
+  // in-quota poll.
+  const std::size_t n = v.allow ? cq.poll(out) : 0;
   tm.completions->add(n);
   if (tr != nullptr && n > 0) [[unlikely]] {
     tr->record(trace::Point::kCqePoll, 0, cq.cqn(), tenant, node, n);

@@ -55,10 +55,16 @@ class Kernel {
 
   // --- Control plane (ioctl path; same for bypass and CoRD) ------------
   sim::Task<nic::ProtectionDomainId> alloc_pd(Core& core);
-  sim::Task<const nic::MemoryRegion*> reg_mr(Core& core, nic::ProtectionDomainId pd,
+  /// MR (de)registration carries the tenant and runs the policy chain
+  /// (kRegMr/kDeregMr): registration churn consumes MR-table slots and
+  /// on-NIC contexts, so it is quota-gated even in bypass mode — the
+  /// control plane is always kernel-mediated. A denied registration
+  /// returns nullptr (the verdict's errno is not surfaced past the ioctl).
+  sim::Task<const nic::MemoryRegion*> reg_mr(Core& core, TenantId tenant,
+                                             nic::ProtectionDomainId pd,
                                              void* addr, std::size_t len,
                                              std::uint32_t access);
-  sim::Task<bool> dereg_mr(Core& core, std::uint32_t lkey);
+  sim::Task<bool> dereg_mr(Core& core, TenantId tenant, std::uint32_t lkey);
   sim::Task<nic::CompletionQueue*> create_cq(Core& core, std::uint32_t capacity);
   sim::Task<nic::QueuePair*> create_qp(Core& core, const nic::QpConfig& cfg);
   sim::Task<nic::SharedReceiveQueue*> create_srq(Core& core,

@@ -22,6 +22,12 @@ namespace cord::os {
 /// Per-tenant token bucket on posted send bytes.
 /// In shaping mode the verdict carries a pacing delay; in policing mode
 /// the op is denied with EAGAIN and the application must retry.
+///
+/// Tenants are small dense integers in this repo (see Kernel's
+/// tenant_metrics_), so buckets live in a flat vector indexed by tenant
+/// id: the per-op path is one bounds check and an indexed load, not two
+/// std::map walks — required once the noisy-neighbor scenarios push
+/// thousands of tenants through the chain.
 class QosTokenBucket final : public Policy {
  public:
   enum class Mode { kShape, kPolice };
@@ -34,19 +40,22 @@ class QosTokenBucket final : public Policy {
 
   /// Set a per-tenant rate override (bytes/s); 0 restores the default.
   void set_tenant_rate(TenantId t, double bytes_per_sec) {
-    if (bytes_per_sec <= 0.0) {
-      tenant_rate_.erase(t);
-    } else {
-      tenant_rate_[t] = bytes_per_sec;
-    }
+    slot(t).rate_override = bytes_per_sec <= 0.0 ? 0.0 : bytes_per_sec;
   }
 
   PolicyVerdict on_op(const DataplaneOp& op, sim::Time now) override {
     if (op.kind != DataplaneOp::Kind::kPostSend) return {.cpu_cost = kCheckCost};
-    Bucket& b = buckets_[op.tenant];
-    const double rate = tenant_rate_.contains(op.tenant)
-                            ? tenant_rate_[op.tenant]
-                            : rate_;
+    Bucket& b = slot(op.tenant);
+    // A fresh bucket starts full. Without this a tenant first seen at
+    // t=0 has zero tokens and zero elapsed time to refill them, so
+    // police mode denies its very first op with EAGAIN under zero
+    // contention.
+    if (!b.primed) {
+      b.tokens = static_cast<double>(burst_);
+      b.last_refill = now;
+      b.primed = true;
+    }
+    const double rate = b.rate_override > 0.0 ? b.rate_override : rate_;
     // Refill.
     const double elapsed_sec = sim::to_sec(now - b.last_refill);
     b.tokens = std::min<double>(static_cast<double>(burst_),
@@ -73,14 +82,18 @@ class QosTokenBucket final : public Policy {
   static constexpr sim::Time kCheckCost = sim::ns(35);
   struct Bucket {
     double tokens = 0.0;
+    double rate_override = 0.0;  ///< 0 = use the policy-wide default rate
     sim::Time last_refill = 0;
     bool primed = false;
   };
+  Bucket& slot(TenantId t) {
+    if (t >= buckets_.size()) buckets_.resize(t + 1);
+    return buckets_[t];
+  }
   double rate_;
   std::uint64_t burst_;
   Mode mode_;
-  std::map<TenantId, Bucket> buckets_;
-  std::map<TenantId, double> tenant_rate_;
+  std::vector<Bucket> buckets_;
 };
 
 /// Allow-list of (tenant, destination node). Unlisted destinations are
@@ -91,7 +104,14 @@ class SecurityAcl final : public Policy {
   std::string_view name() const override { return "security-acl"; }
 
   void allow(TenantId t, nic::NodeId dst) { allowed_.insert({t, dst}); }
-  void revoke(TenantId t, nic::NodeId dst) { allowed_.erase({t, dst}); }
+  /// Revoking makes the allow-list authoritative for the tenant even if
+  /// it was never registered: in non-strict mode an unknown tenant passes
+  /// every check, so a bare erase would leave the revocation a no-op —
+  /// the tenant must become known for the (now absent) entry to matter.
+  void revoke(TenantId t, nic::NodeId dst) {
+    allowed_.erase({t, dst});
+    known_tenants_.insert(t);
+  }
   /// Tenants not mentioned at all are unrestricted unless strict mode.
   void set_strict(bool strict) { strict_ = strict; }
 
@@ -144,6 +164,166 @@ class MessageSizeQuota final : public Policy {
   std::map<TenantId, std::uint64_t> tenant_max_;
 };
 
+/// Isolation: per-tenant *operation-rate* quota — a token bucket on op
+/// count rather than bytes, over a configurable set of op kinds. This is
+/// the defense against the noisy-neighbor floods that exhaust shared NIC
+/// resources regardless of payload size: doorbell floods (kPostSend of
+/// tiny messages), CQ-poll storms (kPollCq), and receive-posting churn.
+/// Ops beyond the rate are denied with EAGAIN and never reach the NIC.
+class OpRateQuota final : public Policy {
+ public:
+  static constexpr std::uint32_t kind_bit(DataplaneOp::Kind k) {
+    return 1u << static_cast<std::uint32_t>(k);
+  }
+
+  /// `kinds` is a bitmask of kind_bit(...) values; ops of other kinds
+  /// pass through untouched (still paying the check cost).
+  OpRateQuota(double ops_per_sec, std::uint64_t burst_ops, std::uint32_t kinds)
+      : rate_(ops_per_sec), burst_(burst_ops), kinds_(kinds) {}
+  /// Mirror per-tenant denial counts into `registry` (counter
+  /// `policy.oprate.denied`, label = tenant) so isolation violations
+  /// surface through Kernel::proc_read alongside the kernel's metrics.
+  OpRateQuota(double ops_per_sec, std::uint64_t burst_ops, std::uint32_t kinds,
+              trace::MetricsRegistry& registry)
+      : rate_(ops_per_sec), burst_(burst_ops), kinds_(kinds),
+        registry_(&registry) {}
+
+  std::string_view name() const override { return "op-rate-quota"; }
+
+  /// Per-tenant rate override (ops/s); 0 restores the default.
+  void set_tenant_rate(TenantId t, double ops_per_sec) {
+    slot(t).rate_override = ops_per_sec <= 0.0 ? 0.0 : ops_per_sec;
+  }
+
+  PolicyVerdict on_op(const DataplaneOp& op, sim::Time now) override {
+    if ((kinds_ & kind_bit(op.kind)) == 0) return {.cpu_cost = kCheckCost};
+    Bucket& b = slot(op.tenant);
+    if (!b.primed) {  // fresh buckets start full (same fix as QoS bucket)
+      b.tokens = static_cast<double>(burst_);
+      b.last_refill = now;
+      b.primed = true;
+    }
+    const double rate = b.rate_override > 0.0 ? b.rate_override : rate_;
+    b.tokens = std::min<double>(static_cast<double>(burst_),
+                                b.tokens + sim::to_sec(now - b.last_refill) * rate);
+    b.last_refill = now;
+    if (b.tokens < 1.0) {
+      ++denied_;
+      if (registry_ != nullptr) {
+        registry_->counter("policy.oprate.denied", op.tenant).add();
+      }
+      return {.allow = false, .error = -11 /*EAGAIN*/, .cpu_cost = kCheckCost};
+    }
+    b.tokens -= 1.0;
+    return {.cpu_cost = kCheckCost};
+  }
+
+  std::uint64_t denied() const { return denied_; }
+
+ private:
+  static constexpr sim::Time kCheckCost = sim::ns(30);
+  struct Bucket {
+    double tokens = 0.0;
+    double rate_override = 0.0;
+    sim::Time last_refill = 0;
+    bool primed = false;
+  };
+  Bucket& slot(TenantId t) {
+    if (t >= buckets_.size()) buckets_.resize(t + 1);
+    return buckets_[t];
+  }
+  double rate_;
+  std::uint64_t burst_;
+  std::uint32_t kinds_;
+  std::uint64_t denied_ = 0;
+  std::vector<Bucket> buckets_;
+  trace::MetricsRegistry* registry_ = nullptr;
+};
+
+/// Isolation: per-tenant memory-registration quota. Caps the number of
+/// live MRs (denied with ENOMEM at the cap) and paces register/deregister
+/// churn with a token bucket (EAGAIN beyond the rate). MR churn is the
+/// third noisy-neighbor vector: every registration pins pages, occupies
+/// an MR-table slot, and installs an on-NIC MR context that competes for
+/// ICM cache capacity with every other tenant's.
+class RegistrationQuota final : public Policy {
+ public:
+  RegistrationQuota(std::uint32_t max_live_mrs, double regs_per_sec,
+                    std::uint64_t burst_regs)
+      : max_live_(max_live_mrs), rate_(regs_per_sec), burst_(burst_regs) {}
+  RegistrationQuota(std::uint32_t max_live_mrs, double regs_per_sec,
+                    std::uint64_t burst_regs, trace::MetricsRegistry& registry)
+      : max_live_(max_live_mrs), rate_(regs_per_sec), burst_(burst_regs),
+        registry_(&registry) {}
+
+  std::string_view name() const override { return "registration-quota"; }
+
+  void set_tenant_max_live(TenantId t, std::uint32_t max_live) {
+    slot(t).max_live_override = max_live;
+    slot(t).has_live_override = true;
+  }
+
+  PolicyVerdict on_op(const DataplaneOp& op, sim::Time now) override {
+    if (op.kind == DataplaneOp::Kind::kDeregMr) {
+      Bucket& b = slot(op.tenant);
+      if (b.live > 0) --b.live;
+      return {.cpu_cost = kCheckCost};
+    }
+    if (op.kind != DataplaneOp::Kind::kRegMr) return {.cpu_cost = kCheckCost};
+    Bucket& b = slot(op.tenant);
+    const std::uint32_t cap = b.has_live_override ? b.max_live_override : max_live_;
+    if (b.live >= cap) {
+      ++denied_;
+      if (registry_ != nullptr) {
+        registry_->counter("policy.reg.denied", op.tenant).add();
+      }
+      return {.allow = false, .error = -12 /*ENOMEM*/, .cpu_cost = kCheckCost};
+    }
+    if (!b.primed) {
+      b.tokens = static_cast<double>(burst_);
+      b.last_refill = now;
+      b.primed = true;
+    }
+    b.tokens = std::min<double>(static_cast<double>(burst_),
+                                b.tokens + sim::to_sec(now - b.last_refill) * rate_);
+    b.last_refill = now;
+    if (b.tokens < 1.0) {
+      ++denied_;
+      if (registry_ != nullptr) {
+        registry_->counter("policy.reg.denied", op.tenant).add();
+      }
+      return {.allow = false, .error = -11 /*EAGAIN*/, .cpu_cost = kCheckCost};
+    }
+    b.tokens -= 1.0;
+    ++b.live;
+    return {.cpu_cost = kCheckCost};
+  }
+
+  std::uint64_t denied() const { return denied_; }
+  std::uint32_t live(TenantId t) { return slot(t).live; }
+
+ private:
+  static constexpr sim::Time kCheckCost = sim::ns(30);
+  struct Bucket {
+    double tokens = 0.0;
+    sim::Time last_refill = 0;
+    std::uint32_t live = 0;
+    std::uint32_t max_live_override = 0;
+    bool has_live_override = false;
+    bool primed = false;
+  };
+  Bucket& slot(TenantId t) {
+    if (t >= buckets_.size()) buckets_.resize(t + 1);
+    return buckets_[t];
+  }
+  std::uint32_t max_live_;
+  double rate_;
+  std::uint64_t burst_;
+  std::uint64_t denied_ = 0;
+  std::vector<Bucket> buckets_;
+  trace::MetricsRegistry* registry_ = nullptr;
+};
+
 /// Observability: per-tenant op/byte counters, harvested without touching
 /// the application (the `rdma-system`-style accounting the paper cites).
 ///
@@ -168,6 +348,8 @@ class StatsCollector final : public Policy {
     std::uint64_t post_recvs = 0;
     std::uint64_t polls = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t reg_mrs = 0;
+    std::uint64_t dereg_mrs = 0;
     bool seen = false;
   };
 
@@ -192,6 +374,18 @@ class StatsCollector final : public Policy {
         ++s.polls;
         if (registry_ != nullptr) {
           registry_->counter("policy.stats.polls", op.tenant).add();
+        }
+        break;
+      case DataplaneOp::Kind::kRegMr:
+        ++s.reg_mrs;
+        if (registry_ != nullptr) {
+          registry_->counter("policy.stats.reg_mrs", op.tenant).add();
+        }
+        break;
+      case DataplaneOp::Kind::kDeregMr:
+        ++s.dereg_mrs;
+        if (registry_ != nullptr) {
+          registry_->counter("policy.stats.dereg_mrs", op.tenant).add();
         }
         break;
     }

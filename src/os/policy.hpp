@@ -19,8 +19,13 @@ namespace cord::os {
 using TenantId = std::uint32_t;
 
 /// A data-plane operation as seen by the kernel interposition layer.
+/// kRegMr/kDeregMr are control-plane verbs, but they consume the same
+/// scarce NIC resources (MR table, on-NIC MR contexts) that a hostile
+/// tenant can churn, so they run through the chain too. RDMA reads and
+/// atomics arrive as kPostSend — `opcode` distinguishes them.
 struct DataplaneOp {
-  enum class Kind : std::uint8_t { kPostSend, kPostRecv, kPollCq };
+  enum class Kind : std::uint8_t { kPostSend, kPostRecv, kPollCq, kRegMr,
+                                   kDeregMr };
   Kind kind = Kind::kPostSend;
   TenantId tenant = 0;
   std::uint32_t qpn = 0;

@@ -395,6 +395,8 @@ core::SystemConfig topo_config(core::SystemConfig cfg, const Params& p) {
   cfg.event_queue = p.queue;
   cfg.sync = p.sync;
   cfg.speculation_depth = p.speculation_depth;
+  cfg.conn_mode = p.conn_mode;
+  cfg.shared_qp_pool = p.shared_qp_pool;
   if (p.racks > 0) {
     cfg.wiring = core::SystemConfig::Wiring::kRack;
     cfg.rack.racks = p.racks;

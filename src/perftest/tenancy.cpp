@@ -1,0 +1,385 @@
+#include "perftest/tenancy.hpp"
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "os/policies.hpp"
+#include "verbs/verbs.hpp"
+
+namespace cord::perftest {
+namespace {
+
+using nic::Cqe;
+using nic::SendWr;
+using sim::Time;
+
+std::uintptr_t uptr(const void* p) { return reinterpret_cast<std::uintptr_t>(p); }
+
+verbs::DataplaneMode mode_of(bool cord) {
+  return cord ? verbs::DataplaneMode::kCord : verbs::DataplaneMode::kBypass;
+}
+
+/// A connected RC QP pair, wired with direct NIC state transitions like
+/// ConnectionService::wire (out-of-band control plane: establishment cost
+/// is out of scope for these steady-state scenarios).
+nic::QueuePair* link(os::Host& a, os::Host& b, nic::QpConfig qca,
+                     nic::QpConfig qcb) {
+  nic::QueuePair* qa = a.nic().create_qp(qca);
+  nic::QueuePair* qb = b.nic().create_qp(qcb);
+  a.nic().modify_qp(*qa, nic::QpState::kInit);
+  b.nic().modify_qp(*qb, nic::QpState::kInit);
+  a.nic().modify_qp(*qa, nic::QpState::kRtr, {b.node(), qb->qpn()});
+  b.nic().modify_qp(*qb, nic::QpState::kRtr, {a.node(), qa->qpn()});
+  a.nic().modify_qp(*qa, nic::QpState::kRts);
+  b.nic().modify_qp(*qb, nic::QpState::kRts);
+  return qa;
+}
+
+Cqe check(Cqe wc, const char* who) {
+  if (wc.status != nic::WcStatus::kSuccess) {
+    throw std::runtime_error(std::string(who) + " completion error: " +
+                             std::string(nic::to_string(wc.status)));
+  }
+  return wc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Connection scaling
+// ---------------------------------------------------------------------------
+
+ScaleResult run_conn_scale(const core::SystemConfig& base,
+                           const ScaleParams& p) {
+  if (p.connections == 0 || p.ops == 0) {
+    throw std::invalid_argument("scale test needs connections and ops");
+  }
+  if (p.window == 0 || p.window > p.connections) {
+    throw std::invalid_argument("window must be in [1, connections]");
+  }
+  core::SystemConfig cfg = base;
+  cfg.event_queue = p.queue;
+  cfg.sync = p.sync;
+  cfg.conn_mode = p.conn_mode;
+  cfg.shared_qp_pool = p.shared_qp_pool;
+  cfg.nic.icm_qp_capacity = p.icm_qp_capacity;
+  cfg.nic.icm_mr_capacity = p.icm_mr_capacity;
+  core::System sys(cfg, /*host_count=*/2, p.shards);
+
+  os::ConnectionService cli(sys.host(0), p.conn_mode, p.shared_qp_pool);
+  os::ConnectionService srv(sys.host(1), p.conn_mode, p.shared_qp_pool);
+  os::ConnectionService::wire(cli, srv, p.connections);
+
+  // One source MR per physical QP client-side: in exclusive mode the WQE
+  // fetch then touches as many MR contexts as there are connections (the
+  // MR side of the context working set); shared mode touches only the
+  // bounded pool's worth. One remote-writable sink server-side.
+  std::vector<std::byte> src(p.msg_size, std::byte{0xA5});
+  std::vector<std::byte> sink(p.msg_size, std::byte{0});
+  std::vector<const nic::MemoryRegion*> mrs;
+  mrs.reserve(cli.physical_count());
+  for (std::size_t i = 0; i < cli.physical_count(); ++i) {
+    mrs.push_back(
+        &sys.host(0).nic().register_mr(cli.pd(), src.data(), src.size(), 0));
+  }
+  const nic::MemoryRegion& sink_mr = sys.host(1).nic().register_mr(
+      srv.pd(), sink.data(), sink.size(),
+      nic::kAccessLocalWrite | nic::kAccessRemoteWrite);
+
+  ScaleResult result;
+  result.latency_us.reserve(p.ops);
+  sys.engine_for(0).spawn(
+      [](core::System& sys, os::ConnectionService& cli,
+         std::vector<const nic::MemoryRegion*>& mrs,
+         const nic::MemoryRegion& sink_mr, std::uintptr_t src_addr,
+         std::uintptr_t sink_addr, const ScaleParams& p,
+         ScaleResult& result) -> sim::Task<> {
+        verbs::Context ctx(sys.host(0), 0,
+                           sys.options(mode_of(p.cord), /*tenant=*/1));
+        sim::Engine& eng = sys.engine_for(0);
+        std::vector<Time> post_t(p.ops, 0);
+        std::size_t posted = 0, done = 0;
+        std::uint32_t outstanding = 0;
+        while (done < p.ops) {
+          while (outstanding < p.window && posted < p.ops) {
+            const auto c = static_cast<os::ConnectionService::ConnId>(
+                posted % p.connections);
+            nic::QueuePair& qp = cli.physical(c);
+            SendWr wr;
+            wr.wr_id = posted;
+            wr.opcode = nic::Opcode::kRdmaWrite;
+            wr.sge = {src_addr, static_cast<std::uint32_t>(p.msg_size),
+                      mrs[cli.conn(c).phys]->lkey};
+            wr.remote_addr = sink_addr;
+            wr.rkey = sink_mr.rkey;
+            post_t[posted] = eng.now();
+            const int rc = co_await ctx.post_send(qp, std::move(wr));
+            if (rc != 0) throw std::runtime_error("scale post_send failed");
+            ++posted;
+            ++outstanding;
+          }
+          const Cqe wc = check(co_await ctx.wait_one(cli.cq()), "scale");
+          result.latency_us.add(sim::to_us(eng.now() - post_t[wc.wr_id]));
+          ++done;
+          --outstanding;
+        }
+      }(sys, cli, mrs, sink_mr, uptr(src.data()), uptr(sink.data()), p,
+        result));
+  sys.sharded().run();
+
+  result.avg_us = result.latency_us.mean();
+  result.p50_us = result.latency_us.percentile(50);
+  result.p99_us = result.latency_us.percentile(99);
+  const nic::IcmCache::Stats qs = sys.host(0).nic().icm_qp_cache().stats();
+  const nic::IcmCache::Stats ms = sys.host(0).nic().icm_mr_cache().stats();
+  result.icm_qp_hits = qs.hits;
+  result.icm_qp_misses = qs.misses;
+  result.icm_qp_evictions = qs.evictions;
+  result.icm_mr_hits = ms.hits;
+  result.icm_mr_misses = ms.misses;
+  result.icm_mr_evictions = ms.evictions;
+  result.physical_qps = cli.physical_count();
+  result.conn_table_bytes = cli.conn_table_bytes();
+  result.clamped_events = sys.sharded().clamped_events();
+  if (result.latency_us.count() == 0) {
+    throw std::runtime_error("scale test produced no samples");
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Noisy neighbor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Victim v: small signaled writes to the quiet host, paced by a gap, each
+/// ping's post-to-completion time recorded. Runs on its own core with its
+/// own QP + CQ; the only thing it shares with the attacker is the NIC.
+sim::Task<> victim_loop(core::System& sys, const NoisyParams& p,
+                        std::size_t core_idx, os::TenantId tenant,
+                        nic::QueuePair& qp, nic::CompletionQueue& cq,
+                        std::uint32_t lkey, std::uintptr_t src,
+                        std::uintptr_t dst, std::uint32_t rkey,
+                        sim::Samples& out) {
+  verbs::Context ctx(sys.host(0), core_idx, sys.options(mode_of(p.cord), tenant));
+  sim::Engine& eng = sys.engine_for(0);
+  for (std::size_t i = 0; i < p.victim_pings; ++i) {
+    const Time t0 = eng.now();
+    SendWr wr;
+    wr.wr_id = i;
+    wr.opcode = nic::Opcode::kRdmaWrite;
+    wr.sge = {src, static_cast<std::uint32_t>(p.msg_size), lkey};
+    wr.remote_addr = dst;
+    wr.rkey = rkey;
+    const int rc = co_await ctx.post_send(qp, std::move(wr));
+    if (rc != 0) throw std::runtime_error("victim post_send failed");
+    (void)check(co_await ctx.wait_one(cq), "victim");
+    out.add(sim::to_us(eng.now() - t0));
+    co_await eng.delay(p.victim_gap);
+  }
+}
+
+/// The attacker's data-plane flood: a deep window of signaled writes
+/// round-robin over more QPs than the ICM cache holds, so every doorbell
+/// misses and evicts victim contexts. Policy denials (-EAGAIN) are
+/// counted and backed off; QoS shaping stalls the posting core.
+sim::Task<> attacker_loop(core::System& sys, const NoisyParams& p,
+                          os::TenantId tenant,
+                          std::vector<nic::QueuePair*>& qps,
+                          nic::CompletionQueue& cq,
+                          std::vector<const nic::MemoryRegion*>& mrs,
+                          std::uintptr_t src, std::uintptr_t dst,
+                          std::uint32_t rkey, NoisyResult& res) {
+  verbs::Context ctx(sys.host(0), p.victims, sys.options(mode_of(p.cord), tenant));
+  sim::Engine& eng = sys.engine_for(0);
+  std::size_t next = 0;
+  std::uint32_t outstanding = 0;
+  std::uint64_t wr_id = 0;
+  while (true) {
+    while (eng.now() < p.duration && outstanding < p.attacker_window) {
+      SendWr wr;
+      wr.wr_id = wr_id++;
+      wr.opcode = nic::Opcode::kRdmaWrite;
+      wr.sge = {src, static_cast<std::uint32_t>(p.attacker_msg),
+                mrs[next]->lkey};
+      wr.remote_addr = dst;
+      wr.rkey = rkey;
+      nic::QueuePair& qp = *qps[next];
+      next = (next + 1) % qps.size();
+      const int rc = co_await ctx.post_send(qp, std::move(wr));
+      if (rc == 0) {
+        ++outstanding;
+      } else {
+        ++res.attacker_denied;
+        co_await eng.delay(sim::ns(500));
+      }
+    }
+    if (outstanding == 0) {
+      if (eng.now() >= p.duration) break;
+      co_await eng.delay(sim::ns(500));
+      continue;
+    }
+    (void)check(co_await ctx.wait_one(cq), "attacker");
+    ++res.attacker_ops;
+    --outstanding;
+  }
+}
+
+/// The attacker's control-plane churn: register/deregister in a tight
+/// loop. Registration is kernel-mediated even in bypass mode, so the
+/// RegistrationQuota bites here regardless of dataplane mode — the one
+/// lever a bypass deployment retains.
+sim::Task<> churn_loop(core::System& sys, const NoisyParams& p,
+                       os::TenantId tenant, nic::ProtectionDomainId pd,
+                       void* buf, NoisyResult& res) {
+  verbs::Context ctx(sys.host(0), p.victims + 1,
+                     sys.options(mode_of(p.cord), tenant));
+  sim::Engine& eng = sys.engine_for(0);
+  while (eng.now() < p.duration) {
+    const nic::MemoryRegion* mr =
+        co_await ctx.reg_mr(pd, buf, 4096, nic::kAccessLocalWrite);
+    if (mr == nullptr) {
+      ++res.attacker_reg_denied;
+      co_await eng.delay(sim::us(2));
+      continue;
+    }
+    ++res.attacker_regs;
+    (void)co_await ctx.dereg_mr(mr->lkey);
+  }
+}
+
+}  // namespace
+
+NoisyResult run_noisy_neighbor(const core::SystemConfig& base,
+                               const NoisyParams& p) {
+  if (p.victims == 0 || p.attacker_qps == 0) {
+    throw std::invalid_argument("noisy-neighbor needs victims and attacker QPs");
+  }
+  core::SystemConfig cfg = base;
+  cfg.event_queue = p.queue;
+  cfg.sync = p.sync;
+  cfg.nic.icm_qp_capacity = p.icm_qp_capacity;
+  cfg.nic.icm_mr_capacity = p.icm_mr_capacity;
+  // Host 0 runs every tenant; host 1 is the victims' quiet peer; host 2 is
+  // the attacker's flood sink; host 3 keeps the host count divisible for
+  // 1/2/4-shard block placements.
+  core::System sys(cfg, /*host_count=*/4, p.shards);
+  os::Host& h0 = sys.host(0);
+  os::Host& h1 = sys.host(1);
+  os::Host& h2 = sys.host(2);
+
+  const os::TenantId attacker = static_cast<os::TenantId>(p.victims + 1);
+  NoisyResult res;
+
+  if (p.policies) {
+    os::PolicyChain& chain = h0.kernel().policies();
+    trace::MetricsRegistry& reg = h0.kernel().metrics();
+    // Bandwidth shaping: line rate by default, the attacker squeezed.
+    auto& qos = static_cast<os::QosTokenBucket&>(
+        chain.install(std::make_unique<os::QosTokenBucket>(
+            12.5e9, std::uint64_t{1} << 20, os::QosTokenBucket::Mode::kShape)));
+    qos.set_tenant_rate(attacker, p.attacker_bytes_per_sec);
+    // Op-rate fairness over the doorbell/poll flood vectors: generous
+    // default (victims busy-poll their completions), attacker capped.
+    auto& oprate = static_cast<os::OpRateQuota&>(
+        chain.install(std::make_unique<os::OpRateQuota>(
+            5e6, 64,
+            os::OpRateQuota::kind_bit(os::DataplaneOp::Kind::kPostSend) |
+                os::OpRateQuota::kind_bit(os::DataplaneOp::Kind::kPollCq),
+            reg)));
+    oprate.set_tenant_rate(attacker, p.attacker_ops_per_sec);
+    // Registration churn: few live MRs, slow refill.
+    chain.install(std::make_unique<os::RegistrationQuota>(
+        p.max_live_mrs, p.regs_per_sec, /*burst_regs=*/4, reg));
+    // Reachability: victims may touch host 1, the attacker host 2.
+    auto& acl = static_cast<os::SecurityAcl&>(
+        chain.install(std::make_unique<os::SecurityAcl>()));
+    for (std::size_t v = 0; v < p.victims; ++v) {
+      acl.register_tenant(static_cast<os::TenantId>(1 + v));
+      acl.allow(static_cast<os::TenantId>(1 + v), h1.node());
+    }
+    acl.register_tenant(attacker);
+    acl.allow(attacker, h2.node());
+  }
+
+  // --- Out-of-band setup (direct NIC state, no simulated cost) ---------
+  const nic::ProtectionDomainId pd0 = h0.nic().alloc_pd();
+  const nic::ProtectionDomainId pd1 = h1.nic().alloc_pd();
+  const nic::ProtectionDomainId pd2 = h2.nic().alloc_pd();
+  nic::CompletionQueue* cq1 = h1.nic().create_cq(64);
+  nic::CompletionQueue* cq2 = h2.nic().create_cq(64);
+
+  // Victims: one QP + CQ each to host 1, one shared source MR (a single
+  // hot MR context — exactly what the attacker's thrash evicts).
+  std::vector<std::byte> vsrc(p.msg_size, std::byte{0x5A});
+  std::vector<std::byte> vsink(p.msg_size * p.victims, std::byte{0});
+  const nic::MemoryRegion& vsrc_mr =
+      h0.nic().register_mr(pd0, vsrc.data(), vsrc.size(), 0);
+  const nic::MemoryRegion& vsink_mr = h1.nic().register_mr(
+      pd1, vsink.data(), vsink.size(),
+      nic::kAccessLocalWrite | nic::kAccessRemoteWrite);
+  std::vector<nic::QueuePair*> vqps;
+  std::vector<nic::CompletionQueue*> vcqs;
+  for (std::size_t v = 0; v < p.victims; ++v) {
+    nic::CompletionQueue* cq = h0.nic().create_cq(64);
+    vcqs.push_back(cq);
+    vqps.push_back(link(h0, h1,
+                        {nic::QpType::kRC, pd0, cq, cq, 64, 64, 0, nullptr},
+                        {nic::QpType::kRC, pd1, cq1, cq1, 64, 64, 0, nullptr}));
+  }
+
+  // Attacker: many QPs to host 2 (more than the ICM QP cache holds), one
+  // MR per QP (more than the MR cache holds), one shared CQ.
+  std::vector<std::byte> asrc(p.attacker_msg, std::byte{0xEE});
+  std::vector<std::byte> asink(p.attacker_msg, std::byte{0});
+  const nic::MemoryRegion& asink_mr = h2.nic().register_mr(
+      pd2, asink.data(), asink.size(),
+      nic::kAccessLocalWrite | nic::kAccessRemoteWrite);
+  nic::CompletionQueue* acq = h0.nic().create_cq(4096);
+  std::vector<nic::QueuePair*> aqps;
+  std::vector<const nic::MemoryRegion*> amrs;
+  for (std::size_t i = 0; i < p.attacker_qps; ++i) {
+    aqps.push_back(link(h0, h2,
+                        {nic::QpType::kRC, pd0, acq, acq, 16, 16, 0, nullptr},
+                        {nic::QpType::kRC, pd2, cq2, cq2, 16, 16, 0, nullptr}));
+    amrs.push_back(
+        &h0.nic().register_mr(pd0, asrc.data(), asrc.size(), 0));
+  }
+  std::vector<std::byte> churn_buf(4096, std::byte{0});
+
+  // --- Run: every root on host 0's shard ------------------------------
+  std::vector<sim::Samples> per_victim(p.victims);
+  sim::Engine& eng = sys.engine_for(0);
+  for (std::size_t v = 0; v < p.victims; ++v) {
+    eng.spawn(victim_loop(sys, p, v, static_cast<os::TenantId>(1 + v),
+                          *vqps[v], *vcqs[v], vsrc_mr.lkey, uptr(vsrc.data()),
+                          uptr(vsink.data()) + v * p.msg_size, vsink_mr.rkey,
+                          per_victim[v]));
+  }
+  eng.spawn(attacker_loop(sys, p, attacker, aqps, *acq, amrs,
+                          uptr(asrc.data()), uptr(asink.data()), asink_mr.rkey,
+                          res));
+  eng.spawn(churn_loop(sys, p, attacker, pd0, churn_buf.data(), res));
+  sys.sharded().run();
+
+  res.victim_us.reserve(p.victims * p.victim_pings);
+  for (const sim::Samples& s : per_victim) {
+    for (const double x : s.values()) res.victim_us.add(x);
+  }
+  res.victim_avg_us = res.victim_us.mean();
+  res.victim_p50_us = res.victim_us.percentile(50);
+  res.victim_p99_us = res.victim_us.percentile(99);
+  const nic::IcmCache::Stats qs = h0.nic().icm_qp_cache().stats();
+  res.icm_qp_misses = qs.misses;
+  res.icm_qp_evictions = qs.evictions;
+  res.clamped_events = sys.sharded().clamped_events();
+  if (res.victim_us.count() == 0) {
+    throw std::runtime_error("noisy-neighbor produced no victim samples");
+  }
+  return res;
+}
+
+}  // namespace cord::perftest

@@ -69,6 +69,10 @@ class Samples {
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 
+  /// The recorded values — insertion order until the first percentile()
+  /// call sorts them in place.
+  const std::vector<double>& values() const { return values_; }
+
  private:
   mutable std::vector<double> values_;
   mutable bool sorted_ = false;

@@ -21,11 +21,12 @@ sim::Task<nic::ProtectionDomainId> Context::alloc_pd() {
 sim::Task<const nic::MemoryRegion*> Context::reg_mr(nic::ProtectionDomainId pd,
                                                     void* addr, std::size_t len,
                                                     std::uint32_t access) {
-  co_return co_await host_->kernel().reg_mr(*core_, pd, addr, len, access);
+  co_return co_await host_->kernel().reg_mr(*core_, opts_.tenant, pd, addr, len,
+                                            access);
 }
 
 sim::Task<bool> Context::dereg_mr(std::uint32_t lkey) {
-  co_return co_await host_->kernel().dereg_mr(*core_, lkey);
+  co_return co_await host_->kernel().dereg_mr(*core_, opts_.tenant, lkey);
 }
 
 sim::Task<nic::CompletionQueue*> Context::create_cq(std::uint32_t capacity) {

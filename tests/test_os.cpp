@@ -300,5 +300,195 @@ TEST(Kernel, RevokeQpFlushesApplicationWork) {
   }(f));
 }
 
+// --- Policy-chain bugfix regressions and the isolation quotas -----------
+
+TEST(QosTokenBucket, FreshBucketStartsFull) {
+  // Regression: an unprimed bucket used to start at zero tokens, so a
+  // tenant first seen at t=0 (zero elapsed time to refill) had its very
+  // first op denied in police mode under zero contention.
+  QosTokenBucket qos(1e9, 4096, QosTokenBucket::Mode::kPolice);
+  DataplaneOp op{DataplaneOp::Kind::kPostSend, 1, 0, nic::Opcode::kSend, 4096, 1};
+  EXPECT_TRUE(qos.on_op(op, 0).allow) << "burst credit must cover the first op";
+  EXPECT_FALSE(qos.on_op(op, 0).allow) << "burst is spent, no time has passed";
+}
+
+TEST(QosTokenBucket, MidDebtRateChangeRepricesExistingDebt) {
+  QosTokenBucket qos(1e9, 4096, QosTokenBucket::Mode::kShape);
+  DataplaneOp op{DataplaneOp::Kind::kPostSend, 2, 0, nic::Opcode::kSend, 4096, 1};
+  EXPECT_EQ(qos.on_op(op, 0).pace_delay, 0) << "burst covers the first op";
+  EXPECT_NEAR(sim::to_ns(qos.on_op(op, 0).pace_delay), 4096.0, 1.0)
+      << "4096 B of debt at 1 GB/s";
+  // The operator squeezes the tenant mid-debt: the outstanding debt (and
+  // all new debt) drains at the new rate from the next op on.
+  qos.set_tenant_rate(2, 1e6);
+  EXPECT_NEAR(sim::to_ms(qos.on_op(op, 0).pace_delay), 8.192, 0.01)
+      << "8192 B of debt at 1 MB/s";
+  qos.set_tenant_rate(2, 0);  // restore the default
+  EXPECT_NEAR(sim::to_ns(qos.on_op(op, 0).pace_delay), 12288.0, 1.0);
+}
+
+TEST(MessageSizeQuota, ZeroCapBlocksPayloadsButNotZeroLength) {
+  // A zero cap must read as "no payload allowed", not "uncapped": the
+  // comparison is strictly-greater, so only zero-length ops pass.
+  MessageSizeQuota quota(1 << 20);
+  quota.set_tenant_max(3, 0);
+  DataplaneOp one{DataplaneOp::Kind::kPostSend, 3, 0, nic::Opcode::kSend, 1, 0};
+  DataplaneOp zero{DataplaneOp::Kind::kPostSend, 3, 0, nic::Opcode::kSend, 0, 0};
+  EXPECT_FALSE(quota.on_op(one, 0).allow);
+  EXPECT_TRUE(quota.on_op(zero, 0).allow);
+}
+
+TEST(SecurityAcl, RevokeIsAuthoritativeForUnknownTenants) {
+  // Regression: revoking a never-registered tenant used to be a no-op
+  // (erase of an absent entry, tenant still unknown and so unrestricted).
+  // Revocation must make the allow-list authoritative for the tenant.
+  SecurityAcl acl;
+  DataplaneOp to5{DataplaneOp::Kind::kPostSend, 2, 0, nic::Opcode::kSend, 64, 5};
+  DataplaneOp to6{DataplaneOp::Kind::kPostSend, 2, 0, nic::Opcode::kSend, 64, 6};
+  EXPECT_TRUE(acl.on_op(to5, 0).allow) << "unknown tenants are unrestricted";
+  acl.revoke(2, 5);
+  EXPECT_FALSE(acl.on_op(to5, 0).allow);
+  EXPECT_FALSE(acl.on_op(to6, 0).allow) << "the (empty) list now governs";
+}
+
+TEST(SecurityAcl, GatesOneSidedReadsAndAtomics) {
+  // RDMA reads and atomics reach the chain as kPostSend with their
+  // opcode: the ACL gates them like any send — the control a bypassed
+  // deployment fundamentally lacks once a QP is connected.
+  SecurityAcl acl;
+  acl.register_tenant(4);
+  acl.allow(4, 5);
+  DataplaneOp read{DataplaneOp::Kind::kPostSend, 4, 0, nic::Opcode::kRdmaRead, 64, 6};
+  DataplaneOp atomic{DataplaneOp::Kind::kPostSend, 4, 0, nic::Opcode::kFetchAdd, 8, 5};
+  EXPECT_FALSE(acl.on_op(read, 0).allow);
+  EXPECT_TRUE(acl.on_op(atomic, 0).allow);
+}
+
+TEST(OpRateQuota, LimitsOnlyMaskedKindsPerTenant) {
+  OpRateQuota quota(/*ops_per_sec=*/1e6, /*burst=*/2,
+                    OpRateQuota::kind_bit(DataplaneOp::Kind::kPostSend) |
+                        OpRateQuota::kind_bit(DataplaneOp::Kind::kPollCq));
+  DataplaneOp send{DataplaneOp::Kind::kPostSend, 1, 0, nic::Opcode::kSend, 64, 0};
+  DataplaneOp recv{DataplaneOp::Kind::kPostRecv, 1, 0, nic::Opcode::kSend, 0, 0};
+  EXPECT_TRUE(quota.on_op(send, 0).allow);
+  EXPECT_TRUE(quota.on_op(send, 0).allow);
+  PolicyVerdict v = quota.on_op(send, 0);
+  EXPECT_FALSE(v.allow) << "burst of 2 spent at t=0";
+  EXPECT_EQ(v.error, -11);
+  EXPECT_TRUE(quota.on_op(recv, 0).allow) << "unmasked kinds pass untouched";
+  // One token refills after 1 us at 1M ops/s.
+  EXPECT_TRUE(quota.on_op(send, sim::us(1)).allow);
+  EXPECT_EQ(quota.denied(), 1u);
+  // Other tenants have their own bucket.
+  DataplaneOp other{DataplaneOp::Kind::kPostSend, 2, 0, nic::Opcode::kSend, 64, 0};
+  EXPECT_TRUE(quota.on_op(other, sim::us(1)).allow);
+}
+
+TEST(OpRateQuota, PerTenantRateOverride) {
+  OpRateQuota quota(1e6, 1, OpRateQuota::kind_bit(DataplaneOp::Kind::kPostSend));
+  quota.set_tenant_rate(7, 1.0);  // one op per second
+  DataplaneOp op{DataplaneOp::Kind::kPostSend, 7, 0, nic::Opcode::kSend, 64, 0};
+  EXPECT_TRUE(quota.on_op(op, 0).allow);
+  EXPECT_FALSE(quota.on_op(op, sim::ms(500)).allow) << "no token yet at 1 op/s";
+  EXPECT_TRUE(quota.on_op(op, sim::sec(2)).allow);
+}
+
+TEST(RegistrationQuota, CapsLiveMrsAndPacesChurn) {
+  RegistrationQuota quota(/*max_live_mrs=*/2, /*regs_per_sec=*/1e3, /*burst=*/8);
+  DataplaneOp reg{DataplaneOp::Kind::kRegMr, 1, 0, nic::Opcode::kSend, 4096, 0};
+  DataplaneOp dereg{DataplaneOp::Kind::kDeregMr, 1, 0, nic::Opcode::kSend, 0, 0};
+  EXPECT_TRUE(quota.on_op(reg, 0).allow);
+  EXPECT_TRUE(quota.on_op(reg, 0).allow);
+  PolicyVerdict v = quota.on_op(reg, 0);
+  EXPECT_FALSE(v.allow);
+  EXPECT_EQ(v.error, -12) << "live cap reads as ENOMEM";
+  EXPECT_EQ(quota.live(1), 2u);
+  EXPECT_TRUE(quota.on_op(dereg, 0).allow);
+  EXPECT_EQ(quota.live(1), 1u);
+  EXPECT_TRUE(quota.on_op(reg, 0).allow) << "freed slot is reusable";
+  EXPECT_EQ(quota.denied(), 1u);
+}
+
+TEST(RegistrationQuota, ChurnBeyondBurstIsEagain) {
+  RegistrationQuota quota(/*max_live_mrs=*/100, /*regs_per_sec=*/1e3, /*burst=*/2);
+  DataplaneOp reg{DataplaneOp::Kind::kRegMr, 1, 0, nic::Opcode::kSend, 4096, 0};
+  DataplaneOp dereg{DataplaneOp::Kind::kDeregMr, 1, 0, nic::Opcode::kSend, 0, 0};
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(quota.on_op(reg, 0).allow);
+    EXPECT_TRUE(quota.on_op(dereg, 0).allow);
+  }
+  PolicyVerdict v = quota.on_op(reg, 0);
+  EXPECT_FALSE(v.allow) << "register/deregister churn drains the bucket";
+  EXPECT_EQ(v.error, -11);
+  EXPECT_TRUE(quota.on_op(reg, sim::ms(1)).allow) << "1 ms refills a token";
+}
+
+TEST(StatsCollector, CountsRegistrations) {
+  StatsCollector stats;
+  stats.on_op({DataplaneOp::Kind::kRegMr, 1, 0, nic::Opcode::kSend, 4096, 0}, 0);
+  stats.on_op({DataplaneOp::Kind::kRegMr, 1, 0, nic::Opcode::kSend, 4096, 0}, 0);
+  stats.on_op({DataplaneOp::Kind::kDeregMr, 1, 0, nic::Opcode::kSend, 0, 0}, 0);
+  EXPECT_EQ(stats.tenant(1).reg_mrs, 2u);
+  EXPECT_EQ(stats.tenant(1).dereg_mrs, 1u);
+}
+
+TEST(Kernel, RegMrDenialReturnsNullToApplication) {
+  TwoHostFixture f;
+  auto& quota = static_cast<RegistrationQuota&>(
+      f.host0->kernel().policies().install(
+          std::make_unique<RegistrationQuota>(100, 1e6, 8)));
+  quota.set_tenant_max_live(6, 1);
+
+  const nic::MemoryRegion* first = nullptr;
+  const nic::MemoryRegion* second = nullptr;
+  run_task(f.engine, [](TwoHostFixture& f, const nic::MemoryRegion*& first,
+                        const nic::MemoryRegion*& second) -> sim::Task<> {
+    verbs::Context c0(*f.host0, 0, {.mode = verbs::DataplaneMode::kCord, .tenant = 6});
+    auto pd = co_await c0.alloc_pd();
+    std::vector<std::byte> buf(4096);
+    first = co_await c0.reg_mr(pd, buf.data(), buf.size(), 0);
+    second = co_await c0.reg_mr(pd, buf.data(), buf.size(), 0);
+    if (first != nullptr) (void)co_await c0.dereg_mr(first->lkey);
+  }(f, first, second));
+  EXPECT_NE(first, nullptr);
+  EXPECT_EQ(second, nullptr) << "quota denial must surface as a null MR";
+  EXPECT_EQ(quota.denied(), 1u);
+}
+
+TEST(Kernel, DeniedPollLeavesCompletionsQueued) {
+  TwoHostFixture f;
+  // host1 polls through its kernel; one poll allowed, then a near-zero
+  // refill rate denies the rest.
+  f.host1->kernel().policies().install(std::make_unique<OpRateQuota>(
+      1e-9, 1, OpRateQuota::kind_bit(DataplaneOp::Kind::kPollCq)));
+
+  run_task(f.engine, [](TwoHostFixture& f) -> sim::Task<> {
+    verbs::Context c0(*f.host0, 0, {});
+    verbs::Context c1(*f.host1, 0, {.mode = verbs::DataplaneMode::kCord, .tenant = 2});
+    RcEndpoints e = co_await cord::testing::connect_rc(c0, c1);
+    std::vector<std::byte> src(64, std::byte{1}), dst(128);
+    auto* rmr = co_await c1.reg_mr(e.pd1, dst.data(), dst.size(),
+                                   nic::kAccessLocalWrite);
+    for (int i = 0; i < 2; ++i) {
+      int rc = co_await c1.post_recv(
+          *e.qp1, {static_cast<std::uint64_t>(i),
+                   {uptr(dst.data()) + 64 * i, 64, rmr->lkey}});
+      if (rc != 0) throw std::runtime_error("post_recv failed");
+      rc = co_await c0.post_send(
+          *e.qp0, {.sge = {uptr(src.data()), 64, 0}, .inline_data = true});
+      if (rc != 0) throw std::runtime_error("post_send failed");
+    }
+    co_await f.engine.delay(sim::us(100));  // let both sends complete
+    if (e.rcq1->depth() != 2) throw std::runtime_error("expected 2 CQEs");
+    nic::Cqe wc[2];
+    std::size_t n = co_await c1.poll_cq(*e.rcq1, std::span<nic::Cqe>{wc, 1});
+    if (n != 1) throw std::runtime_error("first poll should harvest");
+    n = co_await c1.poll_cq(*e.rcq1, std::span<nic::Cqe>{wc, 2});
+    if (n != 0) throw std::runtime_error("denied poll must return 0");
+    if (e.rcq1->depth() != 1)
+      throw std::runtime_error("denied poll must leave the CQE queued");
+  }(f));
+}
+
 }  // namespace
 }  // namespace cord::os
