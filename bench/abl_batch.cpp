@@ -1,0 +1,72 @@
+// Ablation: amortizing the kernel crossing with batched submission rings.
+//
+// CoRD pays one syscall (plus KPTI trampoline on hardened hosts) per
+// data-plane verb. An io_uring-style submission ring gathers back-to-back
+// posts and flushes them in ONE crossing, so the per-op share of the trap
+// cost falls as 1/batch while per-WR driver work stays put. This sweep
+// quantifies the recovery toward the bypass floor across tx-batch and
+// tx-depth on both calibrated systems — on system A the KPTI+jitter
+// crossing is ~3x dearer, so batching recovers proportionally more.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perftest/perftest.hpp"
+
+namespace {
+
+using namespace cord;
+using namespace cord::bench;
+using namespace cord::perftest;
+using verbs::DataplaneMode;
+
+Params make(std::uint32_t depth, std::uint32_t batch, DataplaneMode mode) {
+  Params p;
+  p.op = TestOp::kWrite;  // one-sided: all CPU on the posting client
+  p.msg_size = 64;
+  p.iterations = 2000;
+  p.tx_depth = depth;
+  p.tx_batch = batch;
+  p.client = verbs::ContextOptions{.mode = mode};
+  p.server = p.client;
+  return p;
+}
+
+void sweep(const char* label, const core::SystemConfig& cfg) {
+  std::printf("--- %s ---\n", label);
+  Table t({"tx_depth", "batch", "CoRD Mmsg/s", "ns/op", "x batch=1",
+           "of bypass"});
+  for (std::uint32_t depth : {16u, 64u, 256u}) {
+    const auto bypass =
+        run_bandwidth(cfg, make(depth, 1, DataplaneMode::kBypass));
+    const double bypass_ns =
+        sim::to_ns(bypass.elapsed) / static_cast<double>(bypass.messages);
+    double base_ns = 0.0;
+    for (std::uint32_t batch : {1u, 2u, 4u, 16u, 64u}) {
+      const auto r = run_bandwidth(cfg, make(depth, batch, DataplaneMode::kCord));
+      const double ns =
+          sim::to_ns(r.elapsed) / static_cast<double>(r.messages);
+      if (batch == 1) base_ns = ns;
+      t.add_row({std::to_string(depth), std::to_string(batch),
+                 fmt("%.3f", r.mmsg_per_sec), fmt("%.1f", ns),
+                 fmt("%.2fx", base_ns / ns), fmt("%.0f%%", 100.0 * bypass_ns / ns)});
+    }
+    t.add_row({std::to_string(depth), "bypass", fmt("%.3f", bypass.mmsg_per_sec),
+               fmt("%.1f", bypass_ns), "-", "100%"});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: batched syscall submission (64B writes) ===\n\n");
+  sweep("system L (no KPTI)", core::system_l());
+  sweep("system A (KPTI + syscall jitter)", core::system_a());
+  std::printf(
+      "The crossing cost is the whole CoRD small-message story: batching\n"
+      "divides it by the ring depth, converging on the bypass floor plus\n"
+      "the per-WR kernel driver work. Depth beyond the pipeline's tx_depth\n"
+      "buys nothing — the poll that harvests completions flushes the ring.\n");
+  return 0;
+}

@@ -7,9 +7,11 @@
 #include <functional>
 #include <vector>
 
+#include "core/system.hpp"
 #include "nic/mr.hpp"
 #include "nic/nic.hpp"
 #include "nic/wr_pool.hpp"
+#include "perftest/perftest.hpp"
 #include "sim/engine.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/resource.hpp"
@@ -319,6 +321,51 @@ BENCHMARK(BM_NicBurst)
     ->Args({256, 4096, 256})   // deep queue, one-MTU messages
     ->Args({16, 65536, 64})    // segmentation-heavy large messages
     ->MinTime(1.0);
+
+// Batched syscall submission: a deep-pipeline CoRD bandwidth run at
+// tx-depth x tx-batch, against the bypass dataplane as the floor the
+// amortization chases. The figure of merit is *virtual* time per posted
+// message (`sim_ns_per_op`, deterministic — a simulation-model property,
+// not a host-noise one); cpu_time additionally gates the real-time cost
+// of running the batched path like every other entry. The bench_gate
+// holds sim_ns_per_op(batch=1) / sim_ns_per_op(batch=16) above
+// SYSCALL_BATCH_FLOOR at both depths.
+void BM_SyscallBatch(benchmark::State& state) {
+  const auto depth = static_cast<std::uint32_t>(state.range(0));
+  const auto batch = static_cast<std::uint32_t>(state.range(1));
+  const bool bypass = state.range(2) != 0;
+  perftest::Params p;
+  p.op = perftest::TestOp::kWrite;  // one-sided: the client pays all CPU
+  p.msg_size = 64;
+  p.iterations = 1500;
+  p.tx_depth = depth;
+  p.tx_batch = batch;
+  const auto mode =
+      bypass ? verbs::DataplaneMode::kBypass : verbs::DataplaneMode::kCord;
+  p.client = verbs::ContextOptions{.mode = mode};
+  p.server = verbs::ContextOptions{.mode = mode};
+  double ns_per_op = 0.0;
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    const auto r = perftest::run_bandwidth(core::system_l(), p);
+    ns_per_op = sim::to_ns(r.elapsed) / static_cast<double>(r.messages);
+    msgs += r.messages;
+  }
+  state.counters["sim_ns_per_op"] = ns_per_op;
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+}
+BENCHMARK(BM_SyscallBatch)
+    ->ArgNames({"depth", "batch", "bypass"})
+    ->Args({64, 1, 0})
+    ->Args({64, 4, 0})
+    ->Args({64, 16, 0})
+    ->Args({64, 64, 0})
+    ->Args({256, 1, 0})
+    ->Args({256, 4, 0})
+    ->Args({256, 16, 0})
+    ->Args({256, 64, 0})
+    ->Args({64, 1, 1})    // bypass reference: the amortization target
+    ->Args({256, 1, 1});
 
 }  // namespace
 

@@ -25,6 +25,9 @@
 #                (default 1.25)
 #   TAIL_FLOOR   minimum noisy-neighbor victim-p99 restoration by the
 #                CoRD policy chain vs the bypassed run (default 2.0)
+#   SYSCALL_BATCH_FLOOR  minimum simulated per-op speedup of tx_batch=16
+#                over tx_batch=1 on the CoRD deep-pipeline bandwidth run
+#                (default 1.5; virtual-time, so this is a hard floor)
 #
 # Note: this host is a single noisy core; the tolerance is deliberately
 # generous and the gate runs each binary once. Treat a failure as "rerun
@@ -56,6 +59,14 @@ function(load_bench_times json_file prefix)
     string(MAKE_C_IDENTIFIER "${_name}" _id)
     set(${prefix}_${_id} "${_time}" PARENT_SCOPE)
     set(${prefix}_RT_${_id} "${_rt}" PARENT_SCOPE)
+    # Custom counters land as top-level keys of the benchmark entry. The
+    # deterministic virtual-time figure of merit (BM_SyscallBatch) rides in
+    # sim_ns_per_op; absent for every other benchmark.
+    string(JSON _sim ERROR_VARIABLE _sim_err GET "${_doc}" "benchmarks" ${i}
+           "sim_ns_per_op")
+    if(_sim_err STREQUAL "NOTFOUND")
+      set(${prefix}_SIM_${_id} "${_sim}" PARENT_SCOPE)
+    endif()
     list(APPEND _names "${_name}")
   endforeach()
   set(${prefix}_NAMES "${_names}" PARENT_SCOPE)
@@ -159,6 +170,56 @@ foreach(_name ${_nic_required})
   elseif(DEFINED FRESH_${_id})
     message(STATUS "NIC gate (${_name}): ${FRESH_${_id}} vs baseline "
             "${BASE_${_id}} ns")
+  endif()
+endforeach()
+
+# --- 1d. syscall-batch amortization floor -----------------------------------
+# BM_SyscallBatch reports *simulated* nanoseconds per posted message —
+# deterministic virtual time, immune to host noise — so this is a hard
+# floor, not a tolerance check: the submission ring must make the CoRD
+# deep-pipeline small-message run at least SYSCALL_BATCH_FLOOR x cheaper
+# per op at tx_batch=16 than at tx_batch=1, at both swept depths. Both
+# numbers come from the same fresh pass.
+if(NOT DEFINED SYSCALL_BATCH_FLOOR)
+  set(SYSCALL_BATCH_FLOOR 1.5)
+endif()
+foreach(_depth 64 256)
+  string(MAKE_C_IDENTIFIER
+         "BM_SyscallBatch/depth:${_depth}/batch:1/bypass:0" _b1)
+  string(MAKE_C_IDENTIFIER
+         "BM_SyscallBatch/depth:${_depth}/batch:16/bypass:0" _b16)
+  if(NOT DEFINED FRESH_SIM_${_b1} OR NOT DEFINED FRESH_SIM_${_b16})
+    list(APPEND _failures
+         "syscall-batch floor: BM_SyscallBatch depth:${_depth} entries (or their sim_ns_per_op counters) missing from fresh run")
+    continue()
+  endif()
+  execute_process(
+    COMMAND awk -v b1=${FRESH_SIM_${_b1}} -v b16=${FRESH_SIM_${_b16}}
+            -v f=${SYSCALL_BATCH_FLOOR}
+            "BEGIN { printf \"%.2f\", b1 / b16; if (b1 >= b16 * f) exit 0; exit 1 }"
+    OUTPUT_VARIABLE _ratio RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    list(APPEND _failures
+         "syscall-batch floor: tx_batch=16 is only ${_ratio}x cheaper than tx_batch=1 at depth ${_depth} (${FRESH_SIM_${_b16}} vs ${FRESH_SIM_${_b1}} sim ns/op, floor ${SYSCALL_BATCH_FLOOR}x)")
+  else()
+    message(STATUS "syscall-batch amortization (depth ${_depth}): "
+            "${_ratio}x over per-op submission (floor ${SYSCALL_BATCH_FLOOR}x) — OK")
+  endif()
+endforeach()
+
+# Anti-disarm check (same idea as the NIC gate): the entries carrying the
+# amortization floor must exist in the committed baseline itself, so
+# regenerating BENCH_micro_sim.json without them cannot drop the gate.
+foreach(_name
+    "BM_SyscallBatch/depth:64/batch:1/bypass:0"
+    "BM_SyscallBatch/depth:64/batch:16/bypass:0"
+    "BM_SyscallBatch/depth:256/batch:1/bypass:0"
+    "BM_SyscallBatch/depth:256/batch:16/bypass:0"
+    "BM_SyscallBatch/depth:64/batch:1/bypass:1")
+  string(MAKE_C_IDENTIFIER "${_name}" _id)
+  if(NOT DEFINED BASE_${_id})
+    list(APPEND _failures
+         "syscall-batch gate: ${_name} missing from committed baseline ${BASELINE}")
   endif()
 endforeach()
 

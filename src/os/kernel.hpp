@@ -84,6 +84,26 @@ class Kernel {
   sim::Task<std::size_t> poll_cq(Core& core, TenantId tenant,
                                  nic::CompletionQueue& cq, std::span<nic::Cqe> out);
 
+  // --- Batched submission (io_uring-style, one crossing per flush) ------
+  /// Submit a gathered ring of send WRs in ONE kernel crossing: the
+  /// syscall/KPTI cost and the SQ doorbell are charged once for the whole
+  /// batch, while per-WR driver work and policy verdicts stay per-op.
+  /// Policy evaluation goes through the verdict cache: a same-epoch hit
+  /// runs only the policies' debit-only fast paths. Per-WR results land
+  /// in `rcs` (same length as `wrs`); returns the first nonzero rc, 0 if
+  /// all were admitted. An empty span is a strict no-op: no syscall
+  /// charged, no policy evaluated.
+  sim::Task<int> submit_send_batch(Core& core, TenantId tenant,
+                                   nic::QueuePair& qp,
+                                   std::span<nic::SendWr> wrs,
+                                   std::span<int> rcs);
+  /// Same amortization for receive posting (the RQ-replenish loops of the
+  /// bandwidth workloads): one crossing posts the whole burst.
+  sim::Task<int> submit_recv_batch(Core& core, TenantId tenant,
+                                   nic::QueuePair& qp,
+                                   std::span<const nic::RecvWr> wrs,
+                                   std::span<int> rcs);
+
   // --- Interrupt-driven completion (the "no polling" path) --------------
   /// Arm `cq` and sleep until it signals a completion event. Charges the
   /// syscall, IRQ handling and wakeup costs. Returns immediately if a
@@ -99,8 +119,21 @@ class Kernel {
     return qp == nullptr ? nullptr : &qp->counters();
   }
 
+  /// User->kernel crossings (one per syscall; one per batched flush).
+  /// Historical name — this is the *crossing* count, not the op count.
   std::uint64_t syscall_count() const { return syscalls_; }
+  /// Operations serviced across all crossings. Equal to syscall_count()
+  /// while every op takes its own syscall; diverges under batching, where
+  /// one flush services a whole ring.
+  std::uint64_t ops_serviced_count() const { return ops_serviced_; }
+  /// Batched flushes performed / ops they carried / deepest flush seen.
+  std::uint64_t batch_flushes() const { return batch_flushes_; }
+  std::uint64_t batch_flushed_ops() const { return batch_flushed_ops_; }
+  std::uint64_t batch_max_wrs() const { return batch_max_wrs_; }
   std::uint64_t interrupt_count() const { return interrupts_; }
+
+  /// Policy-verdict fast-path cache (batched submissions only).
+  const VerdictCache& verdict_cache() const { return verdicts_; }
 
   // --- Kernel-side observability (CoRD's motivating capability) ---------
   /// The host's metrics registry. In CoRD mode the data-plane syscalls
@@ -157,6 +190,7 @@ class Kernel {
     trace::Counter* polls = nullptr;
     trace::Counter* tx_bytes = nullptr;
     trace::Counter* completions = nullptr;
+    trace::Counter* crossings = nullptr;
     sim::LogHistogram* syscall_ns = nullptr;
   };
   /// Dense by tenant id (tenants are small integers in this repo).
@@ -168,12 +202,23 @@ class Kernel {
   /// into the causal aggregator (no-op while tracing is disarmed).
   void refresh_causal() const;
 
+  /// Policy evaluation for the batched path: verdict-cache lookup, fast
+  /// path on a hit, full chain (plus cache fill on allow) otherwise.
+  PolicyVerdict evaluate_cached(const DataplaneOp& op, sim::Time now,
+                                trace::Tracer* tr, std::uint32_t span,
+                                std::uint8_t node);
+
   sim::Engine* engine_;
   nic::Nic* nic_;
   KernelConfig cfg_;
   PolicyChain policies_;
+  VerdictCache verdicts_;
   std::map<std::uint32_t, std::unique_ptr<sim::Signal>> cq_signals_;
   std::uint64_t syscalls_ = 0;
+  std::uint64_t ops_serviced_ = 0;
+  std::uint64_t batch_flushes_ = 0;
+  std::uint64_t batch_flushed_ops_ = 0;
+  std::uint64_t batch_max_wrs_ = 0;
   std::uint64_t interrupts_ = 0;
   trace::MetricsRegistry metrics_;
   std::vector<TenantMetrics> tenant_metrics_;

@@ -53,9 +53,15 @@ sim::Task<> establish(Setup& s, core::System& sys, const Params& p,
   s.is_ud = p.transport == Transport::kUD;
   s.slots = slots;
   s.server_node = static_cast<nic::NodeId>(sys.host_count() - 1);
-  s.client = std::make_unique<verbs::Context>(sys.host(0), 0, p.client);
+  verbs::ContextOptions copts = p.client;
+  verbs::ContextOptions sopts = p.server;
+  if (p.tx_batch > 1) {
+    copts.tx_batch = p.tx_batch;
+    sopts.tx_batch = p.tx_batch;
+  }
+  s.client = std::make_unique<verbs::Context>(sys.host(0), 0, copts);
   s.server =
-      std::make_unique<verbs::Context>(sys.host(s.server_node), 0, p.server);
+      std::make_unique<verbs::Context>(sys.host(s.server_node), 0, sopts);
 
   s.pd_c = co_await s.client->alloc_pd();
   s.pd_s = co_await s.server->alloc_pd();
@@ -310,13 +316,25 @@ sim::Task<> send_bw_server(Setup& s, const Params& p, int total,
       }
       ++received;
     }
-    // Replenish the RQ with as many slots as we just consumed.
-    for (std::size_t j = 0; j < n; ++j) {
-      int rc = co_await ctx.post_recv(
-          *s.qp_s, {1, {uptr(sink_slot(s.sink_s, s.recv_len, next_slot)),
-                        s.recv_len, s.mr_sink_s->lkey}});
+    // Replenish the RQ with as many slots as we just consumed. With
+    // batching on, refill in one kernel crossing instead of n.
+    if (p.tx_batch > 1) {
+      std::vector<RecvWr> refill(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        refill[j] = {1, {uptr(sink_slot(s.sink_s, s.recv_len, next_slot)),
+                         s.recv_len, s.mr_sink_s->lkey}};
+        next_slot = (next_slot + 1) % s.slots;
+      }
+      int rc = co_await ctx.post_recv_burst(*s.qp_s, refill);
       if (rc != 0) throw std::runtime_error("server repost failed");
-      next_slot = (next_slot + 1) % s.slots;
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        int rc = co_await ctx.post_recv(
+            *s.qp_s, {1, {uptr(sink_slot(s.sink_s, s.recv_len, next_slot)),
+                          s.recv_len, s.mr_sink_s->lkey}});
+        if (rc != 0) throw std::runtime_error("server repost failed");
+        next_slot = (next_slot + 1) % s.slots;
+      }
     }
   }
 }

@@ -39,6 +39,12 @@ struct Params {
   std::uint32_t tx_depth = 128;
   /// Use inline sends when the message fits (perftest does by default).
   bool allow_inline = true;
+  /// CoRD submission-ring depth (perftest --tx-batch): back-to-back posts
+  /// gathered per QP before one batched kernel crossing flushes them.
+  /// 1 (the default) is the classic one-syscall-per-op path. Applied to
+  /// both sides' contexts when > 1; ignored in bypass mode. See
+  /// verbs::ContextOptions::tx_batch.
+  std::uint32_t tx_batch = 1;
   verbs::ContextOptions client{};
   verbs::ContextOptions server{};
   Knobs knobs{};
